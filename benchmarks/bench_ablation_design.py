@@ -1,0 +1,131 @@
+"""Extra ablations for the design choices DESIGN.md §5 calls out.
+
+Beyond the paper's Table V:
+
+* **group-signature term** — the ξ margin adjustment of Eq. 17 on vs off;
+* **DNF union** — exact DNF (paper §III-F) vs a single-arc approximation
+  of the union (embedding the union as one arc through the intersection
+  network, the thing the paper argues against in Fig. 4c);
+* **LSH vs brute-force retrieval** — the answer-identification trade-off
+  of §III-H, measured as recall@10 and query latency.
+
+Run::
+
+    pytest benchmarks/bench_ablation_design.py --benchmark-only -s
+"""
+
+import time
+
+import numpy as np
+
+from repro.ann import BruteForceIndex, LshIndex
+from repro.core import HalkModel, Trainer, evaluate
+from repro.queries import QueryWorkload
+
+from common import format_table
+
+
+def _train_variant(context, xi: float):
+    profile = context.profile
+    splits = context.splits("NELL")
+    model = HalkModel(splits.train, profile.model)
+    workload = context.workloads("NELL").train
+    Trainer(model, workload, profile.train, xi=xi).train()
+    return model
+
+
+def test_ablation_group_signature_term(benchmark, context):
+    """ξ > 0 (group term on) vs ξ = 0 on the NELL intersection workload."""
+
+    def run():
+        rows = {}
+        test = context.workloads("NELL").test
+        probe = QueryWorkload({s: test[s] for s in ("2i", "3i", "pi")
+                               if s in test})
+        for label, xi in (("xi=0", 0.0), ("xi=default", None)):
+            model = _train_variant(context,
+                                   xi if xi is not None
+                                   else context.profile.model.xi)
+            metrics = evaluate(model, probe)
+            rows[label] = {s: m.mrr for s, m in metrics.items()}
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table("Design ablation: group-signature term (NELL, MRR %)",
+                       ("2i", "3i", "pi"), rows))
+
+
+def test_ablation_union_dnf_vs_single_arc(benchmark, context):
+    """Exact DNF union vs approximating the union with one arc."""
+
+    def run():
+        model = context.model("NELL", "HaLk")
+        test = context.workloads("NELL").test
+        probe = QueryWorkload({s: test[s] for s in ("2u", "up") if s in test})
+        dnf_metrics = evaluate(model, probe)
+
+        # single-arc approximation: treat U like I (one output region)
+        from repro.queries import Intersection, Union
+
+        def as_intersection(node):
+            if isinstance(node, Union):
+                return Intersection(tuple(as_intersection(op)
+                                          for op in node.operands))
+            if hasattr(node, "operands"):
+                return type(node)(tuple(as_intersection(op)
+                                        for op in node.operands))
+            if hasattr(node, "operand"):
+                return type(node)(node.relation, as_intersection(node.operand)) \
+                    if hasattr(node, "relation") \
+                    else type(node)(as_intersection(node.operand))
+            return node
+
+        single = QueryWorkload()
+        for structure in probe.structures():
+            for query in probe[structure]:
+                from dataclasses import replace
+                single.add(replace(query, query=as_intersection(query.query)))
+        single_metrics = evaluate(model, single)
+        return {
+            "DNF union": {s: m.mrr for s, m in dnf_metrics.items()},
+            "single-arc": {s: m.mrr for s, m in single_metrics.items()},
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table("Design ablation: union handling (NELL, MRR %)",
+                       ("2u", "up"), rows))
+
+
+def test_ablation_lsh_vs_brute_force(benchmark, context):
+    """Recall@10 and latency of LSH candidate retrieval (§III-H)."""
+
+    def run():
+        model = context.model("NELL", "HaLk")
+        points = np.mod(model.entity_points.weight.data, 2 * np.pi)
+        queries = points[:: max(1, len(points) // 50)][:50]
+        brute = BruteForceIndex(points)
+        results = {}
+        for label, tables, bits in (("lsh-fast", 4, 8), ("lsh-accurate", 16, 4)):
+            index = LshIndex(points, num_tables=tables, bits_per_table=bits,
+                             seed=0)
+            start = time.perf_counter()
+            for query in queries:
+                index.query(query, top_k=10, fallback=False)
+            latency = (time.perf_counter() - start) / len(queries)
+            recall = index.recall_at_k(queries, top_k=10)
+            results[label] = (recall, 1000 * latency)
+        start = time.perf_counter()
+        for query in queries:
+            brute.query(query, top_k=10)
+        brute_latency = 1000 * (time.perf_counter() - start) / len(queries)
+        results["brute-force"] = (1.0, brute_latency)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Design ablation: answer retrieval (recall@10, ms/query)")
+    for label, (recall, latency) in results.items():
+        print(f"  {label:<13} recall={recall:5.3f}  {latency:7.3f} ms")
+    assert results["brute-force"][0] == 1.0

@@ -1,0 +1,83 @@
+"""Fig. 6a — GFinder accuracy and query time before/after HaLk pruning.
+
+Six large structures (2ipp 2ippu 2ippd 3ipp 3ippu 3ippd) on NELL; HaLk
+supplies the top-20 candidates per variable node and GFinder runs on the
+induced data graph.
+
+Expected shape: pruning cuts GFinder's online time substantially (the
+paper reports roughly two thirds) at a small accuracy cost (~5%).
+
+Run::
+
+    pytest benchmarks/bench_fig6a_pruning.py --benchmark-only -s
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import set_accuracy
+from repro.matching import GFinder, PrunedGFinder
+from repro.queries import (LARGE_STRUCTURES, QuerySampler, execute,
+                           get_structure)
+
+QUERIES_PER_STRUCTURE = 6
+TOP_K = 20
+
+
+def _workload(context):
+    splits = context.pruning_splits()
+    sampler = QuerySampler(splits.train, splits.test, seed=17)
+    return {name: [sampler.sample(get_structure(name))
+                   for _ in range(QUERIES_PER_STRUCTURE)]
+            for name in LARGE_STRUCTURES}
+
+
+def _measure(context, workload):
+    splits = context.pruning_splits()
+    model = context.pruning_model()
+    gfinder = GFinder(splits.train)
+    pruned = PrunedGFinder(model, gfinder, top_k=TOP_K)
+    rows = []
+    for name in LARGE_STRUCTURES:
+        acc_before, acc_after = [], []
+        time_before = time_after = 0.0
+        for grounded in workload[name]:
+            truth = execute(grounded.query, splits.test)
+            start = time.perf_counter()
+            full = gfinder.execute(grounded.query)
+            time_before += time.perf_counter() - start
+            start = time.perf_counter()
+            restricted = pruned.execute(grounded.query)
+            time_after += time.perf_counter() - start
+            acc_before.append(set_accuracy(full, truth))
+            acc_after.append(set_accuracy(restricted, truth))
+        count = len(workload[name])
+        rows.append({
+            "structure": name,
+            "acc_before": float(np.mean(acc_before)),
+            "acc_after": float(np.mean(acc_after)),
+            "ms_before": 1000 * time_before / count,
+            "ms_after": 1000 * time_after / count,
+        })
+    return rows
+
+
+def test_fig6a_pruning(benchmark, context):
+    """Regenerate Fig. 6a (as a table of the plotted series)."""
+    workload = _workload(context)
+    rows = benchmark.pedantic(_measure, args=(context, workload),
+                              rounds=1, iterations=1)
+    print()
+    print(f"Fig. 6a (NELL, top-{TOP_K} pruning): accuracy (F1 %) and "
+          "online time (ms)")
+    print(f"{'structure':>10} {'acc before':>11} {'acc after':>10} "
+          f"{'t before':>9} {'t after':>8} {'speedup':>8}")
+    speedups = []
+    for row in rows:
+        speedup = row["ms_before"] / max(row["ms_after"], 1e-9)
+        speedups.append(speedup)
+        print(f"{row['structure']:>10} {100 * row['acc_before']:>11.1f} "
+              f"{100 * row['acc_after']:>10.1f} {row['ms_before']:>9.2f} "
+              f"{row['ms_after']:>8.2f} {speedup:>8.2f}x")
+    print(f"mean speedup: {np.mean(speedups):.2f}x")

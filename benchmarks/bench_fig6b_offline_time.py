@@ -1,0 +1,33 @@
+"""Fig. 6b — offline (training) time of each method on each dataset.
+
+Expected shape: the three geometric methods (HaLk, ConE, NewLook) cost a
+comparable amount, HaLk slightly more than ConE/NewLook (it trains five
+operators instead of four); MLPMix, whose operators are deeper MLP stacks,
+costs the most.
+
+Run::
+
+    pytest benchmarks/bench_fig6b_offline_time.py --benchmark-only -s
+"""
+
+import pytest
+
+from common import DATASETS
+
+METHODS = ("ConE", "NewLook", "MLPMix", "HaLk")
+
+
+def _offline_times(context, dataset):
+    return {method: context.train_seconds(dataset, method)
+            for method in METHODS}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6b_offline_time(benchmark, context, dataset):
+    """Regenerate one dataset group of Fig. 6b."""
+    times = benchmark.pedantic(_offline_times, args=(context, dataset),
+                               rounds=1, iterations=1)
+    print()
+    print(f"Fig. 6b ({dataset}): offline training time (s)")
+    for method in METHODS:
+        print(f"  {method:<9} {times[method]:>8.1f}")

@@ -1,0 +1,77 @@
+"""Fig. 6c — online query time of each method on each dataset.
+
+Six large structures (the §IV-D/IV-E workload), 20 queries per structure;
+per-query time = embed + rank all entities for embedding methods, full
+matching (including dynamic index construction) for GFinder.
+
+Expected shape: all embedding methods are within the same order of
+magnitude, GFinder is far slower.
+
+Run::
+
+    pytest benchmarks/bench_fig6c_online_time.py --benchmark-only -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import UnsupportedOperatorError
+from repro.matching import GFinder
+from repro.queries import LARGE_STRUCTURES, QuerySampler, get_structure
+
+from common import DATASETS
+
+EMBEDDING_METHODS = ("ConE", "NewLook", "MLPMix", "HaLk")
+QUERIES_PER_STRUCTURE = 20
+
+
+def _queries(context, dataset):
+    splits = context.splits(dataset)
+    sampler = QuerySampler(splits.train, splits.test, seed=23)
+    out = []
+    for name in LARGE_STRUCTURES:
+        structure = get_structure(name)
+        out.extend(sampler.sample(structure).query
+                   for _ in range(QUERIES_PER_STRUCTURE))
+    return out
+
+
+def _online_times(context, dataset, queries):
+    times = {}
+    for method in EMBEDDING_METHODS:
+        model = context.model(dataset, method)
+        supported = []
+        for query in queries:
+            try:
+                model.embed_batch([query])
+                supported.append(query)
+            except UnsupportedOperatorError:
+                continue
+        start = time.perf_counter()
+        for query in supported:
+            model.rank_all_entities([query])
+        times[method] = 1000 * (time.perf_counter() - start) / len(supported)
+    gfinder = GFinder(context.splits(dataset).train)
+    start = time.perf_counter()
+    for query in queries:
+        gfinder.execute(query)
+    times["GFinder"] = 1000 * (time.perf_counter() - start) / len(queries)
+    return times
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6c_online_time(benchmark, context, dataset):
+    """Regenerate one dataset group of Fig. 6c."""
+    queries = _queries(context, dataset)
+    times = benchmark.pedantic(_online_times,
+                               args=(context, dataset, queries),
+                               rounds=1, iterations=1)
+    print()
+    print(f"Fig. 6c ({dataset}): online time per query (ms)")
+    for method, value in times.items():
+        print(f"  {method:<9} {value:>8.2f}")
+    embedding_mean = np.mean([times[m] for m in EMBEDDING_METHODS])
+    assert times["GFinder"] > embedding_mean, \
+        "subgraph matching should be slower online than embedding methods"

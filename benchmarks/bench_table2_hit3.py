@@ -1,0 +1,30 @@
+"""Table II — Hits@3 (%) for answering queries on FB15k, FB237 and NELL.
+
+Same grid as Table I under the Hits@3 metric.
+
+Run::
+
+    pytest benchmarks/bench_table2_hit3.py --benchmark-only -s
+"""
+
+import pytest
+
+from common import DATASETS, EPFO_COLUMNS, format_table
+
+
+def _hit3_rows(context, dataset):
+    rows = {}
+    for method in ("ConE", "NewLook", "MLPMix", "HaLk"):
+        metrics = context.evaluate_method(dataset, method)
+        rows[method] = {s: m.hits[3] for s, m in metrics.items()
+                        if s in EPFO_COLUMNS}
+    return rows
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table2_hit3(benchmark, context, dataset):
+    """Regenerate one dataset block of Table II."""
+    rows = benchmark.pedantic(_hit3_rows, args=(context, dataset),
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(f"Table II (Hits@3 %, {dataset})", EPFO_COLUMNS, rows))

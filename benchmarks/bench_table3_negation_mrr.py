@@ -1,0 +1,37 @@
+"""Table III — MRR (%) for queries with negation (2in 3in pni pin).
+
+ConE, MLPMix and HaLk support negation; NewLook does not and is absent
+from this table (exactly as in the paper).
+
+Run::
+
+    pytest benchmarks/bench_table3_negation_mrr.py --benchmark-only -s
+"""
+
+import pytest
+
+from common import DATASETS, NEGATION_COLUMNS, format_table
+
+
+def _rows(context, dataset):
+    rows = {}
+    for method in ("ConE", "MLPMix", "HaLk"):
+        metrics = context.evaluate_method(dataset, method)
+        rows[method] = {s: m.mrr for s, m in metrics.items()
+                        if s in NEGATION_COLUMNS}
+    return rows
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table3_negation_mrr(benchmark, context, dataset):
+    """Regenerate one dataset block of Table III."""
+    rows = benchmark.pedantic(_rows, args=(context, dataset),
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(f"Table III (negation MRR %, {dataset})",
+                       NEGATION_COLUMNS, rows))
+    # paper shape: all methods low on negation, none should be at ceiling
+    for method, cells in rows.items():
+        for structure, value in cells.items():
+            assert value < 0.9, \
+                f"{method}/{structure} suspiciously high for negation"

@@ -1,0 +1,29 @@
+"""Table IV — Hits@3 (%) for queries with negation (2in 3in pni pin).
+
+Run::
+
+    pytest benchmarks/bench_table4_negation_hit3.py --benchmark-only -s
+"""
+
+import pytest
+
+from common import DATASETS, NEGATION_COLUMNS, format_table
+
+
+def _rows(context, dataset):
+    rows = {}
+    for method in ("ConE", "MLPMix", "HaLk"):
+        metrics = context.evaluate_method(dataset, method)
+        rows[method] = {s: m.hits[3] for s, m in metrics.items()
+                        if s in NEGATION_COLUMNS}
+    return rows
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table4_negation_hit3(benchmark, context, dataset):
+    """Regenerate one dataset block of Table IV."""
+    rows = benchmark.pedantic(_rows, args=(context, dataset),
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(f"Table IV (negation Hits@3 %, {dataset})",
+                       NEGATION_COLUMNS, rows))

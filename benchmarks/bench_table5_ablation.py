@@ -1,0 +1,47 @@
+"""Table V — ablation study on NELL (MRR and Hits@3).
+
+Compares full HaLk against:
+
+* HaLk-V1 — NewLook-style difference, no cardinality constraint
+  (evaluated on the difference structures 2d 3d dp),
+* HaLk-V2 — linear-only negation (evaluated on 2in 3in pin),
+* HaLk-V3 — independent centre/span projection (evaluated on 1p 2p 3p).
+
+Run::
+
+    pytest benchmarks/bench_table5_ablation.py --benchmark-only -s
+"""
+
+import pytest
+
+from common import format_table
+
+ABLATION_BLOCKS = (
+    ("Difference", "HaLk-V1", ("2d", "3d", "dp")),
+    ("Negation", "HaLk-V2", ("2in", "3in", "pin")),
+    ("Projection", "HaLk-V3", ("1p", "2p", "3p")),
+)
+
+
+def _block_rows(context, variant, structures):
+    rows = {}
+    for method in (variant, "HaLk"):
+        metrics = context.evaluate_method("NELL", method)
+        rows[method] = {}
+        for structure in structures:
+            if structure in metrics:
+                rows[method][f"{structure}/mrr"] = metrics[structure].mrr
+                rows[method][f"{structure}/h@3"] = metrics[structure].hits[3]
+    return rows
+
+
+@pytest.mark.parametrize("title,variant,structures", ABLATION_BLOCKS,
+                         ids=[b[0] for b in ABLATION_BLOCKS])
+def test_table5_ablation(benchmark, context, title, variant, structures):
+    """Regenerate one operator block of Table V."""
+    rows = benchmark.pedantic(_block_rows,
+                              args=(context, variant, structures),
+                              rounds=1, iterations=1)
+    columns = [f"{s}/{m}" for s in structures for m in ("mrr", "h@3")]
+    print()
+    print(format_table(f"Table V ({title} ablation, NELL)", columns, rows))

@@ -1,0 +1,87 @@
+"""Table VI — accuracy and execution time vs query size on NELL.
+
+One representative structure per query size 1..5 (1p, 2p, pi, pip, p3ip);
+HaLk (embedding executor) against GFinder (subgraph matching executor).
+Accuracy is the answer-set F1 against the complete (test) graph's answers;
+execution time is per query and includes GFinder's dynamic index
+construction (§IV-E).
+
+Expected shape: HaLk is faster and more accurate, and the gap grows with
+query size (HaLk's time is nearly flat, GFinder's grows with the join).
+
+Run::
+
+    pytest benchmarks/bench_table6_query_size.py --benchmark-only -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import answer_set_from_ranking, set_accuracy
+from repro.matching import GFinder
+from repro.queries import (QUERY_SIZE_STRUCTURES, QuerySampler, execute,
+                           get_structure)
+
+QUERIES_PER_SIZE = 10
+
+
+def _workload(context):
+    splits = context.pruning_splits()
+    sampler = QuerySampler(splits.train, splits.test, seed=42)
+    workload = {}
+    for name in QUERY_SIZE_STRUCTURES:
+        workload[name] = [sampler.sample(get_structure(name))
+                          for _ in range(QUERIES_PER_SIZE)]
+    return workload
+
+
+def _measure(context, workload):
+    splits = context.pruning_splits()
+    model = context.pruning_model()
+    gfinder = GFinder(splits.train)
+    rows = []
+    for name in QUERY_SIZE_STRUCTURES:
+        queries = workload[name]
+        halk_acc, gf_acc = [], []
+        halk_time = gf_time = 0.0
+        for grounded in queries:
+            truth = execute(grounded.query, splits.test)
+            start = time.perf_counter()
+            distances = model.rank_all_entities([grounded.query])[0]
+            predicted = answer_set_from_ranking(distances, len(truth))
+            halk_time += time.perf_counter() - start
+            halk_acc.append(set_accuracy(predicted, truth))
+            start = time.perf_counter()
+            matched = gfinder.execute(grounded.query)
+            gf_time += time.perf_counter() - start
+            gf_acc.append(set_accuracy(matched, truth))
+        rows.append({
+            "size": get_structure(name).size,
+            "structure": name,
+            "halk_acc": float(np.mean(halk_acc)),
+            "gfinder_acc": float(np.mean(gf_acc)),
+            "halk_ms": 1000 * halk_time / len(queries),
+            "gfinder_ms": 1000 * gf_time / len(queries),
+        })
+    return rows
+
+
+def test_table6_query_size(benchmark, context):
+    """Regenerate Table VI."""
+    workload = _workload(context)
+    rows = benchmark.pedantic(_measure, args=(context, workload),
+                              rounds=1, iterations=1)
+    print()
+    print("Table VI (NELL): accuracy (F1 %) and execution time (ms) "
+          "per query size")
+    print(f"{'QS':>3} {'EQS':>6} {'Acc H':>7} {'Acc G':>7} "
+          f"{'ET H':>8} {'ET G':>8}")
+    for row in rows:
+        print(f"{row['size']:>3} {row['structure']:>6} "
+              f"{100 * row['halk_acc']:>7.1f} {100 * row['gfinder_acc']:>7.1f} "
+              f"{row['halk_ms']:>8.2f} {row['gfinder_ms']:>8.2f}")
+    # shape assertions: embedding executor time roughly flat, matcher grows
+    assert rows[-1]["gfinder_ms"] > rows[0]["gfinder_ms"], \
+        "GFinder time should grow with query size"

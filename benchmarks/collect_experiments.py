@@ -1,0 +1,88 @@
+"""Fill EXPERIMENTS.md's measured blocks from a bench transcript.
+
+Usage::
+
+    python benchmarks/collect_experiments.py [bench_output.txt]
+
+Each ``<!-- MEASURED:KEY -->`` placeholder in EXPERIMENTS.md is replaced
+with the corresponding fenced block extracted from the transcript.  Safe
+to re-run: previously inserted blocks are regenerated.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: placeholder key -> (start marker, number of header lines to keep scanning)
+SECTIONS = {
+    "TABLE1": r"Table I \(MRR %",
+    "TABLE2": r"Table II \(Hits@3 %",
+    "TABLE34": r"Table (III|IV) \(negation",
+    "TABLE5": r"Table V \(",
+    "TABLE6": r"Table VI \(NELL\)",
+    "FIG6A": r"Fig\. 6a \(",
+    "FIG6B": r"Fig\. 6b \(",
+    "FIG6C": r"Fig\. 6c \(",
+    "FIG7": r"Fig\. 7: SPARQL",
+    "DESIGN": r"Design ablation:",
+}
+
+
+def extract_blocks(transcript: str, start_pattern: str) -> list[str]:
+    """All blocks beginning at lines matching the pattern.
+
+    A block runs until a line that is empty, a lone ``.`` (pytest's
+    pass marker under ``-s``), or the start of another section.
+    """
+    lines = transcript.splitlines()
+    blocks: list[str] = []
+    pattern = re.compile(start_pattern)
+    any_start = re.compile("|".join(f"(?:{p})" for p in SECTIONS.values()))
+    i = 0
+    while i < len(lines):
+        if pattern.search(lines[i]):
+            block = [lines[i]]
+            j = i + 1
+            while j < len(lines):
+                stripped = lines[j].strip()
+                if stripped in ("", ".") or any_start.search(lines[j]):
+                    break
+                block.append(lines[j].rstrip())
+                j += 1
+            blocks.append("\n".join(block))
+            i = j
+        else:
+            i += 1
+    return blocks
+
+
+def main(argv: list[str]) -> int:
+    transcript_path = pathlib.Path(argv[1]) if len(argv) > 1 \
+        else ROOT / "bench_output.txt"
+    experiments_path = ROOT / "EXPERIMENTS.md"
+    transcript = transcript_path.read_text()
+    text = experiments_path.read_text()
+
+    for key, pattern in SECTIONS.items():
+        blocks = extract_blocks(transcript, pattern)
+        if not blocks:
+            rendered = "_(no measured block found in the transcript)_"
+        else:
+            rendered = "```\n" + "\n\n".join(blocks) + "\n```"
+        placeholder = f"<!-- MEASURED:{key} -->"
+        # replace either the bare placeholder or a previously filled block
+        filled = re.compile(
+            re.escape(placeholder) + r"(?:\n```.*?```)?", re.DOTALL)
+        text = filled.sub(placeholder + "\n" + rendered, text, count=1)
+
+    experiments_path.write_text(text)
+    print(f"EXPERIMENTS.md updated from {transcript_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

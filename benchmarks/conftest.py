@@ -1,0 +1,20 @@
+"""Pytest configuration for the benchmark harness.
+
+Makes the ``benchmarks`` directory importable as a package-less module
+collection and exposes the shared experiment context as a fixture.
+"""
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from common import shared_context  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def context():
+    """Session-wide ExperimentContext (datasets, workloads, trained models)."""
+    return shared_context()

@@ -1,0 +1,156 @@
+"""Answering natural-language-style movie queries (paper Fig. 1 scenario).
+
+Builds a small hand-crafted movie knowledge graph (directors, awards,
+nationalities, films) with deliberately *missing* edges, trains HaLk on the
+observed part, and answers the paper's running example:
+
+    "What are the films directed by Oscar-winning American directors?"
+
+plus difference and negation variants (Fig. 2).  The point of the demo:
+the symbolic executor on the observed graph misses answers that depend on
+unobserved facts, while the embedding executor can still rank them highly.
+
+Run with::
+
+    python examples/movie_queries.py
+"""
+
+import numpy as np
+
+from repro.config import ModelConfig, TrainConfig
+from repro.core import HalkModel, Trainer
+from repro.kg import KnowledgeGraph
+from repro.queries import (Difference, Entity, GroundedQuery, Intersection,
+                           Negation, Projection, QueryWorkload, execute)
+
+DIRECTORS = ["coppola", "bigelow", "kurosawa", "varda", "miyazaki", "lee"]
+FILMS = ["gf2", "hurt_locker", "ran", "vagabond", "totoro", "bklyn",
+         "dracula", "zero_dark", "dreams", "gleaners", "ponyo", "crouching"]
+AWARDS = ["oscar", "palme"]
+COUNTRIES = ["usa", "japan", "france"]
+RELATIONS = ["won_by", "has_citizen", "directed"]
+
+
+def build_graph() -> tuple[KnowledgeGraph, KnowledgeGraph]:
+    """Return (observed graph, complete graph) over the movie domain."""
+    names = DIRECTORS + FILMS + AWARDS + COUNTRIES
+    index = {name: i for i, name in enumerate(names)}
+    won_by, has_citizen, directed = 0, 1, 2
+
+    # projection follows edge direction (head -> tail), so awards point at
+    # their winners and countries at their citizens
+    facts = [
+        # awards (the Oscar/Palme winners)
+        ("oscar", won_by, "coppola"), ("oscar", won_by, "bigelow"),
+        ("palme", won_by, "kurosawa"), ("palme", won_by, "varda"),
+        ("oscar", won_by, "lee"),
+        # citizenship
+        ("usa", has_citizen, "coppola"), ("usa", has_citizen, "bigelow"),
+        ("japan", has_citizen, "kurosawa"), ("japan", has_citizen, "miyazaki"),
+        ("france", has_citizen, "varda"), ("usa", has_citizen, "lee"),
+        # filmographies (two films each)
+        ("coppola", directed, "gf2"), ("coppola", directed, "dracula"),
+        ("bigelow", directed, "hurt_locker"), ("bigelow", directed, "zero_dark"),
+        ("kurosawa", directed, "ran"), ("kurosawa", directed, "dreams"),
+        ("varda", directed, "vagabond"), ("varda", directed, "gleaners"),
+        ("miyazaki", directed, "totoro"), ("miyazaki", directed, "ponyo"),
+        ("lee", directed, "bklyn"), ("lee", directed, "crouching"),
+    ]
+    triples = [(index[h], r, index[t]) for h, r, t in facts]
+    complete = KnowledgeGraph(len(names), len(RELATIONS), triples,
+                              entity_names=names, relation_names=RELATIONS)
+    # the observed graph is missing two facts — this is the KG
+    # incompleteness that motivates embedding methods (§I)
+    missing = {(index["bigelow"], directed, index["zero_dark"]),
+               (index["oscar"], won_by, index["lee"])}
+    observed = KnowledgeGraph(len(names), len(RELATIONS),
+                              [t for t in triples if t not in missing],
+                              entity_names=names, relation_names=RELATIONS)
+    return observed, complete
+
+
+def training_workload(kg: KnowledgeGraph) -> QueryWorkload:
+    """All 1p links plus the 2-hop/intersection shapes of the demo."""
+    workload = QueryWorkload()
+    for head, rel, _ in sorted(kg.triples):
+        query = Projection(rel, Entity(head))
+        workload.add(GroundedQuery("1p", query,
+                                   frozenset(kg.targets(head, rel)),
+                                   frozenset()))
+    index = {name: i for i, name in enumerate(kg.entity_names)}
+    for award in AWARDS:
+        for country in COUNTRIES:
+            query = Projection(2, Intersection((
+                Projection(0, Entity(index[award])),
+                Projection(1, Entity(index[country])))))
+            answers = execute(query, kg)
+            if answers:
+                workload.add(GroundedQuery("ip", query,
+                                           frozenset(answers), frozenset()))
+    # difference and negation shapes so those operator networks train too
+    def add_if_nonempty(structure: str, query) -> None:
+        answers = execute(query, kg)
+        if answers and len(answers) < kg.num_entities // 2:
+            workload.add(GroundedQuery(structure, query,
+                                       frozenset(answers), frozenset()))
+
+    anchor_pairs = [(a, b) for a in AWARDS + COUNTRIES
+                    for b in AWARDS + COUNTRIES if a != b]
+    for a, b in anchor_pairs:
+        rel_a = 0 if a in AWARDS else 1
+        rel_b = 0 if b in AWARDS else 1
+        add_if_nonempty("2d", Difference((
+            Projection(rel_a, Entity(index[a])),
+            Projection(rel_b, Entity(index[b])))))
+        add_if_nonempty("2in", Intersection((
+            Projection(rel_a, Entity(index[a])),
+            Negation(Projection(rel_b, Entity(index[b]))))))
+    return workload
+
+
+def show(kg: KnowledgeGraph, label: str, entities) -> None:
+    names = sorted(kg.entity_names[e] for e in entities)
+    print(f"  {label}: {', '.join(names) if names else '(none)'}")
+
+
+def main() -> None:
+    observed, complete = build_graph()
+    index = {name: i for i, name in enumerate(observed.entity_names)}
+    print(f"movie KG: {observed.num_triples} observed / "
+          f"{complete.num_triples} true facts")
+
+    model = HalkModel(observed, ModelConfig(embedding_dim=16, hidden_dim=32,
+                                            seed=0, num_groups=6))
+    trainer = Trainer(model, training_workload(observed),
+                      TrainConfig(epochs=150, batch_size=16, num_negatives=8,
+                                  learning_rate=2e-3,
+                                  embedding_learning_rate=1e-2))
+    history = trainer.train()
+    print(f"trained in {history.seconds:.1f}s, loss {history.final_loss:.3f}\n")
+
+    # Fig. 1: films directed by Oscar-winning American directors
+    question = Projection(2, Intersection((
+        Projection(0, Entity(index["oscar"])),
+        Projection(1, Entity(index["usa"])))))
+    print("Q1: films directed by Oscar-winning American directors")
+    show(complete, "ground truth (complete KG)", execute(question, complete))
+    show(observed, "symbolic executor (observed)", execute(question, observed))
+    show(observed, "HaLk top-6", model.answer(question, top_k=6))
+
+    # Fig. 2(a): difference — Palme winners who have not won the Oscar
+    diff_query = Difference((Projection(0, Entity(index["palme"])),
+                             Projection(0, Entity(index["oscar"]))))
+    print("\nQ2: Palme d'Or winners who never won an Oscar (difference)")
+    show(complete, "ground truth", execute(diff_query, complete))
+    show(observed, "HaLk top-2", model.answer(diff_query, top_k=2))
+
+    # Fig. 2(b): negation — directors who are not US citizens
+    neg_query = Intersection((Projection(0, Entity(index["palme"])),
+                              Negation(Projection(1, Entity(index["usa"])))))
+    print("\nQ3: Palme winners who are not American (negation)")
+    show(complete, "ground truth", execute(neg_query, complete))
+    show(observed, "HaLk top-2", model.answer(neg_query, top_k=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where pip's wheel-based editable install is unavailable."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Reproduction of HaLk — answering logical queries on knowledge graphs.
+
+Reproduces "A Holistic Approach for Answering Logical Queries on Knowledge
+Graphs" (ICDE 2023): arc-embedding query answering with a full set of five
+first-order-logic operators, plus every substrate the paper depends on
+(autodiff engine, KG datasets, query workloads, baselines, subgraph
+matching, SPARQL front-end).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

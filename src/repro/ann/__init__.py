@@ -1,0 +1,6 @@
+"""``repro.ann`` — LSH and brute-force retrieval for answer identification."""
+
+from .brute import BruteForceIndex
+from .lsh import LshIndex
+
+__all__ = ["LshIndex", "BruteForceIndex"]

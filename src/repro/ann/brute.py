@@ -1,0 +1,22 @@
+"""Exact nearest-neighbour search baseline for answer identification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex:
+    """Exact chord-distance search over circle-point embeddings."""
+
+    def __init__(self, points: np.ndarray):
+        if points.ndim != 2:
+            raise ValueError("points must be (N, d)")
+        self.points = np.asarray(points, dtype=np.float64)
+
+    def query(self, query_angles: np.ndarray, top_k: int = 10) -> list[int]:
+        """The ``top_k`` entities nearest to a query point."""
+        delta = (self.points - np.asarray(query_angles)[None, :]) / 2.0
+        distances = np.abs(np.sin(delta)).sum(axis=-1)
+        return [int(i) for i in np.argsort(distances)[:top_k]]

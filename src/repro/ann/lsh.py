@@ -1,0 +1,110 @@
+"""Locality-sensitive hashing for answer identification (paper §III-H).
+
+The online stage retrieves entities near the target arc "in constant time
+using search algorithms such as Locality Sensitive Hashing".  Entity
+points live on a circle per dimension, so they are first lifted through
+the (cos, sin) feature map into ℝ^{2d}, where random-hyperplane (SimHash)
+LSH applies: nearby angles → nearby features → equal hash bits with high
+probability.
+
+``LshIndex`` returns *candidates*; the caller re-ranks them with the true
+arc distance.  Recall/speed trade-offs are measured, not assumed — see
+``benchmarks/bench_fig6c_online_time.py`` and the ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["LshIndex"]
+
+
+def _angle_features(angles: np.ndarray) -> np.ndarray:
+    return np.concatenate([np.cos(angles), np.sin(angles)], axis=-1)
+
+
+class LshIndex:
+    """Random-hyperplane LSH over circle-point embeddings.
+
+    Parameters
+    ----------
+    points:
+        ``(N, d)`` entity angles.
+    num_tables:
+        Number of independent hash tables (more = higher recall).
+    bits_per_table:
+        Hash width (more = smaller buckets, faster but lower recall).
+    seed:
+        Seed for the random hyperplanes.
+    """
+
+    def __init__(self, points: np.ndarray, num_tables: int = 8,
+                 bits_per_table: int = 8, seed: int = 0):
+        if points.ndim != 2:
+            raise ValueError("points must be (N, d)")
+        if num_tables <= 0 or bits_per_table <= 0:
+            raise ValueError("num_tables and bits_per_table must be positive")
+        self.points = np.asarray(points, dtype=np.float64)
+        self.num_tables = num_tables
+        self.bits_per_table = bits_per_table
+        rng = np.random.default_rng(seed)
+        features = _angle_features(self.points)
+        self._planes = rng.normal(
+            size=(num_tables, features.shape[1], bits_per_table))
+        self._tables: list[dict[int, list[int]]] = []
+        self._powers = 1 << np.arange(bits_per_table)
+        for table in range(num_tables):
+            buckets: dict[int, list[int]] = defaultdict(list)
+            keys = self._hash(features, table)
+            for entity, key in enumerate(keys):
+                buckets[int(key)].append(entity)
+            self._tables.append(dict(buckets))
+
+    def _hash(self, features: np.ndarray, table: int) -> np.ndarray:
+        bits = (features @ self._planes[table]) > 0
+        return bits @ self._powers
+
+    # ------------------------------------------------------------------
+    def candidates(self, query_angles: np.ndarray) -> set[int]:
+        """Union of bucket members over all tables for one query point."""
+        features = _angle_features(np.asarray(query_angles,
+                                              dtype=np.float64)[None, :])
+        out: set[int] = set()
+        for table in range(self.num_tables):
+            key = int(self._hash(features, table)[0])
+            out.update(self._tables[table].get(key, ()))
+        return out
+
+    def query(self, query_angles: np.ndarray, top_k: int = 10,
+              fallback: bool = True) -> list[int]:
+        """Top-k candidates by chord distance among hashed candidates.
+
+        With ``fallback`` (default), an empty/short candidate set degrades
+        to exact search so the result is never worse than brute force on
+        recall — only the candidate pool shrinks.
+        """
+        candidates = self.candidates(query_angles)
+        if fallback and len(candidates) < top_k:
+            candidates = set(range(self.points.shape[0]))
+        ids = np.fromiter(candidates, dtype=np.int64)
+        distances = self._chord_distance(query_angles, self.points[ids])
+        order = np.argsort(distances)[:top_k]
+        return [int(ids[i]) for i in order]
+
+    @staticmethod
+    def _chord_distance(query: np.ndarray, points: np.ndarray) -> np.ndarray:
+        delta = (points - query[None, :]) / 2.0
+        return np.abs(np.sin(delta)).sum(axis=-1)
+
+    def recall_at_k(self, queries: np.ndarray, top_k: int = 10) -> float:
+        """Fraction of exact top-k neighbours recovered (no fallback)."""
+        hits = 0
+        total = 0
+        for query in np.atleast_2d(queries):
+            exact = np.argsort(self._chord_distance(query, self.points))[:top_k]
+            approx = set(self.query(query, top_k=top_k, fallback=False))
+            hits += len(set(int(e) for e in exact) & approx)
+            total += top_k
+        return hits / total if total else 0.0

@@ -1,0 +1,200 @@
+"""Command-line interface for the reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli datasets                       # list + stats
+    python -m repro.cli train --dataset FB237 --method HaLk --epochs 100
+    python -m repro.cli evaluate --dataset FB237 --method HaLk
+    python -m repro.cli answer --dataset FB237 --sparql "SELECT ?x WHERE { e12 rotation_0 ?x }"
+
+``train`` persists model weights under ``--model-dir`` (default
+``./models``); ``evaluate`` and ``answer`` reload them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+from .baselines import (ConEModel, MLPMixModel, NewLookModel, HalkV1, HalkV2,
+                        HalkV3)
+from .config import ModelConfig, TrainConfig
+from .core import HalkModel, Trainer, evaluate
+from .kg import DATASET_BUILDERS, load_dataset
+from .queries import build_workloads
+from .sparql import SparqlEngine
+
+METHODS = {
+    "HaLk": HalkModel,
+    "ConE": ConEModel,
+    "NewLook": NewLookModel,
+    "MLPMix": MLPMixModel,
+    "HaLk-V1": HalkV1,
+    "HaLk-V2": HalkV2,
+    "HaLk-V3": HalkV3,
+}
+
+
+def _model_paths(model_dir: pathlib.Path, dataset: str, method: str):
+    stem = f"{dataset}_{method}".replace("/", "_")
+    return model_dir / f"{stem}.npz", model_dir / f"{stem}.json"
+
+
+def _build_model(args, train_graph):
+    config = ModelConfig(embedding_dim=args.dim, hidden_dim=2 * args.dim,
+                         seed=args.seed)
+    return METHODS[args.method](train_graph, config)
+
+
+def cmd_datasets(args) -> int:
+    print(f"{'name':>8} {'entities':>9} {'relations':>10} "
+          f"{'train':>7} {'valid':>7} {'test':>7}")
+    for name in DATASET_BUILDERS:
+        splits = load_dataset(name, scale=args.scale, seed=args.seed)
+        print(f"{name:>8} {splits.test.num_entities:>9} "
+              f"{splits.test.num_relations:>10} "
+              f"{splits.train.num_triples:>7} {splits.valid.num_triples:>7} "
+              f"{splits.test.num_triples:>7}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    splits = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    bundle = build_workloads(splits, queries_per_structure=args.queries,
+                             eval_queries_per_structure=10, seed=args.seed)
+    model = _build_model(args, splits.train)
+    from .baselines import UnsupportedOperatorError
+    from .queries import QueryWorkload
+    workload = QueryWorkload()
+    for query in bundle.train:
+        try:
+            model.embed_batch([query.query])
+            workload.add(query)
+        except UnsupportedOperatorError:
+            continue
+    trainer = Trainer(model, workload,
+                      TrainConfig(epochs=args.epochs, batch_size=128,
+                                  num_negatives=16, learning_rate=args.lr,
+                                  embedding_learning_rate=args.embedding_lr,
+                                  seed=args.seed,
+                                  log_every=max(1, args.epochs // 10)))
+    history = trainer.train()
+    model_dir = pathlib.Path(args.model_dir)
+    model_dir.mkdir(parents=True, exist_ok=True)
+    weights, meta = _model_paths(model_dir, args.dataset, args.method)
+    np.savez(weights, **model.state_dict())
+    meta.write_text(json.dumps({
+        "dataset": args.dataset, "method": args.method, "dim": args.dim,
+        "seed": args.seed, "scale": args.scale,
+        "train_seconds": history.seconds,
+        "final_loss": history.final_loss}))
+    print(f"saved {weights} ({history.seconds:.1f}s, "
+          f"loss {history.final_loss:.4f})")
+    return 0
+
+
+def _load_trained(args):
+    splits = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    model = _build_model(args, splits.train)
+    weights, meta = _model_paths(pathlib.Path(args.model_dir), args.dataset,
+                                 args.method)
+    if not weights.exists():
+        raise SystemExit(f"no trained model at {weights}; run "
+                         f"`python -m repro.cli train` first")
+    saved = json.loads(meta.read_text())
+    if saved.get("dim") != args.dim or saved.get("scale") != args.scale:
+        raise SystemExit("saved model was trained with different "
+                         "--dim/--scale; pass matching flags")
+    model.load_state_dict(dict(np.load(weights)))
+    return splits, model
+
+
+def cmd_evaluate(args) -> int:
+    splits, model = _load_trained(args)
+    bundle = build_workloads(splits, queries_per_structure=10,
+                             eval_queries_per_structure=args.queries,
+                             seed=args.seed)
+    from .baselines import UnsupportedOperatorError
+    from .queries import QueryWorkload
+    workload = QueryWorkload()
+    for query in bundle.test:
+        try:
+            model.embed_batch([query.query])
+            workload.add(query)
+        except UnsupportedOperatorError:
+            continue
+    results = evaluate(model, workload)
+    print(f"{'structure':>10} {'MRR':>7} {'Hits@1':>7} {'Hits@3':>7} "
+          f"{'Hits@10':>8}")
+    for structure in workload.structures():
+        metrics = results[structure]
+        print(f"{structure:>10} {metrics.mrr:>7.3f} {metrics.hits[1]:>7.3f} "
+              f"{metrics.hits[3]:>7.3f} {metrics.hits[10]:>8.3f}")
+    mean = np.mean([m.mrr for m in results.values()])
+    print(f"{'average':>10} {mean:>7.3f}")
+    return 0
+
+
+def cmd_answer(args) -> int:
+    splits, model = _load_trained(args)
+    engine = SparqlEngine(splits.train, model=model)
+    result = engine.answer(args.sparql, top_k=args.top_k)
+    print(f"computation graph: {result.computation_graph}")
+    for entity_id, name in zip(result.entity_ids, result.entity_names):
+        print(f"  {entity_id:>6}  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HaLk reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
+                       default="FB237")
+        p.add_argument("--method", choices=sorted(METHODS), default="HaLk")
+        p.add_argument("--dim", type=int, default=24)
+        p.add_argument("--scale", type=float, default=0.5)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--model-dir", default="models")
+
+    p = sub.add_parser("datasets", help="list benchmark datasets")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("train", help="train a model")
+    common(p)
+    p.add_argument("--epochs", type=int, default=150)
+    p.add_argument("--queries", type=int, default=100,
+                   help="training queries per structure")
+    p.add_argument("--lr", type=float, default=2e-3)
+    p.add_argument("--embedding-lr", type=float, default=2e-2)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate a trained model")
+    common(p)
+    p.add_argument("--queries", type=int, default=30,
+                   help="evaluation queries per structure")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("answer", help="answer a SPARQL query")
+    common(p)
+    p.add_argument("--sparql", required=True)
+    p.add_argument("--top-k", type=int, default=10)
+    p.set_defaults(func=cmd_answer)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Configuration dataclasses shared by HaLk and the baselines.
+
+The paper trains with d = 800, batch 512, 128 negatives, γ = 24, η = 0.02
+and Adam at 1e-4 on four RTX 3090s.  The defaults here are scaled to the
+CPU-only reproduction (see DESIGN.md §1); every knob the paper reports is
+exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ModelConfig", "TrainConfig"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of the embedding models.
+
+    Attributes
+    ----------
+    embedding_dim:
+        Dimensionality ``d`` of entity/query embeddings (paper: 800).
+    hidden_dim:
+        Width of the operator MLPs.
+    radius:
+        Circle radius ``ρ`` of the arc embedding (the paper fixes it and
+        leaves radius learning to future work; we do the same).
+    gamma:
+        Margin ``γ`` in the loss, Eq. (17) (paper: 24).
+    eta:
+        Inside-distance down-weighting ``η`` in Eq. (15) (paper: 0.02).
+    xi:
+        Weight ``ξ`` of the group-signature penalty in Eq. (17).
+    lambda_scale:
+        Scale ``λ`` of the squashing function ``g``, Eq. (3).
+    num_groups:
+        Number of random node groups (§II-A).
+    seed:
+        Seed for all parameter initialisation.
+    """
+
+    embedding_dim: int = 24
+    hidden_dim: int = 48
+    radius: float = 1.0
+    gamma: float = 9.0
+    eta: float = 0.02
+    xi: float = 0.5
+    lambda_scale: float = 1.0
+    num_groups: int = 16
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.embedding_dim <= 0 or self.hidden_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+        if not 0 < self.eta < 1:
+            raise ValueError("eta must be in (0, 1)")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+
+    def with_(self, **kwargs) -> "ModelConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Training-loop knobs (paper §IV-A 'Training protocol')."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    num_negatives: int = 16
+    learning_rate: float = 1e-3
+    embedding_learning_rate: float | None = None  # default: same as learning_rate
+    adversarial_temperature: float = 0.0  # 0 = uniform negatives (Eq. 17)
+    size_regularization: float = 0.05  # weight of the region-size penalty
+    seed: int = 0
+    log_every: int = 0  # 0 = silent
+
+    def __post_init__(self):
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.num_negatives <= 0:
+            raise ValueError("num_negatives must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+    def with_(self, **kwargs) -> "TrainConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

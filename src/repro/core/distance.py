@@ -1,0 +1,74 @@
+"""Entity-to-query distance (paper Eq. 15/16).
+
+``d(v‖A) = d_o + η·d_i`` with both parts measured in chord lengths (the
+periodicity-safe metric on the circle):
+
+* outside distance ``d_o``: chord to the nearest arc endpoint, exactly as
+  printed in Eq. 16 — note it is *not* zeroed for points inside the arc.
+  This matters for training dynamics: a negative sample strictly inside
+  the arc still produces a gradient that moves the nearest endpoint past
+  it, i.e. the arc *contracts* around the true answers.  (Zeroing d_o
+  inside, the Query2Box convention, removes that gradient and lets arcs
+  bloat — measurably worse; see DESIGN.md §1.)
+* inside distance ``d_i``: chord to the centre, capped by the half-arc
+  chord, down-weighted by ``η`` so entities are pulled inside the arc but
+  not forced onto its centre.
+
+Shapes: the arc holds ``(B, d)`` tensors; candidate points come in as
+``(B, M, d)`` (``M`` negatives per query) or ``(1, N, d)`` (ranking all
+entities), and the result is ``(B, M)`` / ``(B, N)``.
+"""
+
+from __future__ import annotations
+
+from ..nn import F, Tensor
+from .arc import Arc
+
+__all__ = ["entity_to_arc_distance", "distance_to_points"]
+
+
+def entity_to_arc_distance(points: Tensor, arc: Arc, eta: float) -> Tensor:
+    """Distance from entity points to a batch of arcs (Eq. 15/16).
+
+    Parameters
+    ----------
+    points:
+        ``(B_or_1, M, d)`` entity point angles.
+    arc:
+        Arc batch with ``(B, d)`` tensors.
+    eta:
+        Inside-distance weight ``η ∈ (0, 1)``.
+    """
+    radius = arc.radius
+    center = arc.center.reshape(arc.batch_size, 1, arc.dim)
+    half = arc.half_angle.reshape(arc.batch_size, 1, arc.dim)
+    start = center - half
+    end = center + half
+
+    chord_start = F.abs_(F.sin((points - start) / 2.0))
+    chord_end = F.abs_(F.sin((points - end) / 2.0))
+    outside = F.minimum(chord_start, chord_end)
+
+    chord_center = F.abs_(F.sin((points - center) / 2.0))
+    chord_half_arc = F.abs_(F.sin(half / 2.0))
+    inside = F.minimum(chord_center, chord_half_arc)
+
+    d_outside = 2.0 * radius * outside.sum(axis=-1)
+    d_inside = 2.0 * radius * inside.sum(axis=-1)
+    return d_outside + eta * d_inside
+
+
+def distance_to_points(arc: Arc, point_angles: Tensor, eta: float) -> Tensor:
+    """Convenience wrapper accepting 2-D or 3-D point tensors.
+
+    * ``(N, d)`` points are ranked against every arc: result ``(B, N)``.
+    * ``(B, M, d)`` points are per-query candidates: result ``(B, M)``.
+    """
+    if point_angles.ndim == 2:
+        n, d = point_angles.shape
+        points = point_angles.reshape(1, n, d)
+    elif point_angles.ndim == 3:
+        points = point_angles
+    else:
+        raise ValueError(f"expected 2-D or 3-D points, got {point_angles.ndim}-D")
+    return entity_to_arc_distance(points, arc, eta)

@@ -1,0 +1,124 @@
+"""Evaluation protocol: filtered MRR and Hits@K (paper §IV-A).
+
+For every evaluation query the model ranks all entities by distance; each
+*hard* answer (derivable only with unseen edges) is ranked against all
+non-answer entities — known answers (easy or hard) are filtered out of the
+ranking, the standard protocol of Query2Box/BetaE that the paper follows.
+Scores are averaged per query, then per structure.
+
+Also provides the set-overlap accuracy used when comparing against
+subgraph matching (Table VI, Fig. 6a), where GFinder returns an explicit
+answer set rather than a ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..queries.dataset import QueryWorkload
+from ..queries.sampler import GroundedQuery
+from .model import QueryModel
+
+__all__ = ["StructureMetrics", "evaluate", "rank_hard_answers",
+           "set_accuracy", "answer_set_from_ranking"]
+
+
+@dataclass
+class StructureMetrics:
+    """Aggregated metrics for one query structure."""
+
+    mrr: float = 0.0
+    hits: dict[int, float] = field(default_factory=dict)
+    num_queries: int = 0
+
+    def as_row(self, ks: Sequence[int] = (1, 3, 10)) -> dict[str, float]:
+        row = {"mrr": self.mrr}
+        for k in ks:
+            row[f"hits@{k}"] = self.hits.get(k, 0.0)
+        return row
+
+
+def rank_hard_answers(distances: np.ndarray, query: GroundedQuery) -> list[int]:
+    """Filtered ranks (1-based) of each hard answer of one query.
+
+    An answer's rank counts only *non-answer* entities that score strictly
+    better, plus half of the non-answer ties (mid-rank tie-breaking), so
+    degenerate constant scores do not get a free perfect rank.
+    """
+    answers = np.fromiter(query.all_answers, dtype=np.int64)
+    hard = sorted(query.hard_answers) if query.hard_answers \
+        else sorted(query.easy_answers)
+    non_answer_mask = np.ones(distances.shape[0], dtype=bool)
+    non_answer_mask[answers] = False
+    other = distances[non_answer_mask]
+    ranks = []
+    for answer in hard:
+        d = distances[answer]
+        better = int((other < d).sum())
+        ties = int((other == d).sum())
+        ranks.append(1 + better + ties // 2)
+    return ranks
+
+
+def evaluate(model: QueryModel, workload: QueryWorkload,
+             ks: Sequence[int] = (1, 3, 10),
+             batch_size: int = 64) -> dict[str, StructureMetrics]:
+    """Evaluate a model on every structure of a workload.
+
+    Returns a mapping from structure name to :class:`StructureMetrics`;
+    metrics are first averaged within a query (over its hard answers),
+    then across queries — the convention of the baselines' released code.
+    """
+    results: dict[str, StructureMetrics] = {}
+    for structure in workload.structures():
+        queries = workload[structure]
+        distances = model.rank_all_entities([q.query for q in queries],
+                                            batch_size=batch_size)
+        mrr_values = []
+        hits_values: dict[int, list[float]] = {k: [] for k in ks}
+        for i, query in enumerate(queries):
+            ranks = np.array(rank_hard_answers(distances[i], query))
+            if ranks.size == 0:
+                continue
+            mrr_values.append(float((1.0 / ranks).mean()))
+            for k in ks:
+                hits_values[k].append(float((ranks <= k).mean()))
+        metrics = StructureMetrics(
+            mrr=float(np.mean(mrr_values)) if mrr_values else 0.0,
+            hits={k: float(np.mean(v)) if v else 0.0
+                  for k, v in hits_values.items()},
+            num_queries=len(mrr_values),
+        )
+        results[structure] = metrics
+    return results
+
+
+def answer_set_from_ranking(distances: np.ndarray, size: int) -> set[int]:
+    """Predicted answer set: the ``size`` best-ranked entities."""
+    if size <= 0:
+        return set()
+    top = np.argpartition(distances, min(size, distances.shape[0] - 1))[:size]
+    return set(int(e) for e in top)
+
+
+def set_accuracy(predicted: Iterable[int], truth: Iterable[int]) -> float:
+    """F1 overlap between a predicted answer set and the ground truth.
+
+    Used for the subgraph-matching comparisons (Table VI, Fig. 6a) where
+    both systems return explicit sets.
+    """
+    predicted = set(predicted)
+    truth = set(truth)
+    if not predicted and not truth:
+        return 1.0
+    if not predicted or not truth:
+        return 0.0
+    overlap = len(predicted & truth)
+    precision = overlap / len(predicted)
+    recall = overlap / len(truth)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,274 @@
+"""The HaLk query-embedding model and the shared model interface.
+
+:class:`QueryModel` is the contract every method in the evaluation
+implements (HaLk, ConE, NewLook, MLPMix, the ablations): embed a batch of
+same-structure queries, then measure distances from entities to the query
+embedding.  The generic trainer and evaluation protocol in
+``trainer.py``/``evaluation.py`` only talk to this interface, which is what
+makes the paper's comparisons apples-to-apples.
+
+:class:`HalkModel` is the paper's model: entities are points on a circle,
+queries are arcs, each logical operator has its own neural model, and
+union is answered exactly through DNF rewriting (§III-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..kg.graph import KnowledgeGraph
+from ..kg.groups import GroupAssignment
+from ..nn import Embedding, F, Module, Tensor, no_grad
+from ..queries.computation_graph import (Difference, Entity, Intersection,
+                                         Negation, Node, Projection, Union,
+                                         to_dnf)
+from .arc import TWO_PI, Arc
+from .distance import distance_to_points
+from .operators import (DifferenceOperator, IntersectionOperator,
+                        NegationOperator, ProjectionOperator)
+
+__all__ = ["QueryModel", "HalkModel", "HalkQueryEmbedding"]
+
+
+class QueryModel(Module):
+    """Interface shared by HaLk and all baselines."""
+
+    #: short method name used in result tables
+    name: str = "abstract"
+
+    def __init__(self, num_entities: int, num_relations: int):
+        super().__init__()
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+
+    def embed_batch(self, queries: list[Node]):
+        """Embed a batch of same-structure query trees."""
+        raise NotImplementedError
+
+    def distance_to_entities(self, embedding, entity_ids: np.ndarray) -> Tensor:
+        """Distances ``(B, M)`` from per-query candidate entities."""
+        raise NotImplementedError
+
+    def distance_to_all(self, embedding) -> Tensor:
+        """Distances ``(B, N)`` from every entity in the vocabulary."""
+        raise NotImplementedError
+
+    def query_signature(self, embedding) -> np.ndarray | None:
+        """Multi-hot group signature ``(B, G)`` or None if unsupported."""
+        return None
+
+    def entity_signatures(self, entity_ids: np.ndarray) -> np.ndarray | None:
+        """Group one-hots for entity ids, or None if unsupported."""
+        return None
+
+    def size_penalty(self, embedding) -> "Tensor | None":
+        """Mean size (span/offset/aperture) of the query embedding.
+
+        Geometric models return a scalar Tensor used as a cardinality
+        regulariser: at reproduction scale (few thousand steps instead of
+        the paper's several hundred thousand) answer regions bloat to
+        cover all positives before the negative pressure can shrink them;
+        a small penalty on the region size restores the compact-region
+        behaviour the paper reports.  Non-geometric models return None.
+        """
+        return None
+
+    def embedding_parameters(self):
+        """Parameters of embedding tables (entity/relation lookups).
+
+        The trainer can give these a higher learning rate than the
+        operator networks: embedding tables see each row only a few times
+        per epoch, while the shared networks see every sample — the
+        standard two-speed regime of KG-embedding training.
+        """
+        seen = set()
+        for table in self.modules_of_type(Embedding):
+            for param in table.parameters():
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    yield param
+
+    def network_parameters(self):
+        """All parameters that are not embedding-table rows."""
+        embedding_ids = {id(p) for p in self.embedding_parameters()}
+        for param in self.parameters():
+            if id(param) not in embedding_ids:
+                yield param
+
+    # ------------------------------------------------------------------
+    # convenience inference API (shared by all models)
+    # ------------------------------------------------------------------
+    def rank_all_entities(self, queries: list[Node],
+                          batch_size: int = 64) -> np.ndarray:
+        """Distance matrix ``(len(queries), N)`` without recording grads."""
+        rows = []
+        with no_grad():
+            for start in range(0, len(queries), batch_size):
+                chunk = queries[start:start + batch_size]
+                embedding = self.embed_batch(chunk)
+                rows.append(self.distance_to_all(embedding).data)
+        return np.concatenate(rows, axis=0)
+
+    def answer(self, query: Node, top_k: int = 10) -> list[int]:
+        """Top-k candidate answers for a single query."""
+        distances = self.rank_all_entities([query])[0]
+        return [int(entity) for entity in np.argsort(distances)[:top_k]]
+
+
+@dataclass
+class HalkQueryEmbedding:
+    """DNF embedding of a query batch: one arc batch per conjunctive branch."""
+
+    branches: list[Arc]
+    signature: np.ndarray  # (B, G) multi-hot over groups
+
+
+class HalkModel(QueryModel):
+    """HaLk: holistic arc-embedding query answering (paper §III).
+
+    Parameters
+    ----------
+    kg:
+        Training graph — defines vocabularies and the group adjacency.
+    config:
+        Model hyper-parameters.
+    groups:
+        Optional precomputed group assignment (built from ``kg`` if
+        omitted).
+    """
+
+    name = "HaLk"
+
+    def __init__(self, kg: KnowledgeGraph, config: ModelConfig | None = None,
+                 groups: GroupAssignment | None = None):
+        config = config or ModelConfig()
+        super().__init__(kg.num_entities, kg.num_relations)
+        self.config = config
+        self.groups = groups or GroupAssignment(kg, config.num_groups,
+                                                seed=config.seed)
+        rng = np.random.default_rng(config.seed)
+        d = config.embedding_dim
+        # entity points: angles on the circle (paper: uniform init)
+        self.entity_points = Embedding(kg.num_entities, d, low=0.0,
+                                       high=TWO_PI, rng=rng)
+        # relation arcs: additive rotation (centre) and span adjustment
+        self.relation_center = Embedding(kg.num_relations, d, low=0.0,
+                                         high=TWO_PI, rng=rng)
+        self.relation_length = Embedding(kg.num_relations, d, low=0.0,
+                                         high=0.5, rng=rng)
+        self.projection = ProjectionOperator(config, rng)
+        self.intersection = IntersectionOperator(config, rng)
+        self.difference = DifferenceOperator(config, rng)
+        self.negation = NegationOperator(config, rng)
+
+    # ------------------------------------------------------------------
+    # embedding
+    # ------------------------------------------------------------------
+    def embed_batch(self, queries: list[Node]) -> HalkQueryEmbedding:
+        """Embed same-structure queries; union handled via DNF (§III-F)."""
+        if not queries:
+            raise ValueError("empty query batch")
+        dnf_lists = [to_dnf(query) for query in queries]
+        branch_count = len(dnf_lists[0])
+        if any(len(branches) != branch_count for branches in dnf_lists):
+            raise ValueError("queries in a batch must share one structure")
+        branches: list[Arc] = []
+        signature: np.ndarray | None = None
+        for index in range(branch_count):
+            trees = [branches_i[index] for branches_i in dnf_lists]
+            arc, sig = self._embed(trees)
+            branches.append(arc)
+            signature = sig if signature is None else np.maximum(signature, sig)
+        return HalkQueryEmbedding(branches, signature)
+
+    def _embed(self, trees: list[Node]) -> tuple[Arc, np.ndarray]:
+        """Recursively embed a batch of isomorphic (union-free) trees."""
+        head = trees[0]
+        if isinstance(head, Entity):
+            ids = np.array([t.entity for t in trees], dtype=np.int64)
+            points = F.wrap_angle(self.entity_points(ids))
+            return Arc.from_points(points, self.config.radius), \
+                self.groups.one_hot[ids].copy()
+        if isinstance(head, Projection):
+            child_arc, child_sig = self._embed([t.operand for t in trees])
+            rel_ids = np.array([t.relation for t in trees], dtype=np.int64)
+            relation = Arc(self.relation_center(rel_ids),
+                           self.relation_length(rel_ids), self.config.radius)
+            out = self.projection(child_arc, relation)
+            reached = np.einsum("bg,bgh->bh", child_sig,
+                                self.groups.adjacency[rel_ids])
+            return out, (reached > 0).astype(np.float64)
+        if isinstance(head, Intersection):
+            arity = len(head.operands)
+            parts = [self._embed([t.operands[i] for t in trees])
+                     for i in range(arity)]
+            arcs = [arc for arc, _ in parts]
+            sigs = [sig for _, sig in parts]
+            target_sig = sigs[0]
+            for sig in sigs[1:]:
+                target_sig = target_sig * sig
+            # z_i = 1 / (‖h_Ui − h_Ut‖ + 1), Eq. (10)
+            z = np.stack([1.0 / (np.abs(sig - target_sig).sum(axis=-1) + 1.0)
+                          for sig in sigs], axis=0)
+            return self.intersection(arcs, z), target_sig
+        if isinstance(head, Difference):
+            arity = len(head.operands)
+            parts = [self._embed([t.operands[i] for t in trees])
+                     for i in range(arity)]
+            arcs = [arc for arc, _ in parts]
+            return self.difference(arcs), parts[0][1]
+        if isinstance(head, Negation):
+            child_arc, child_sig = self._embed([t.operand for t in trees])
+            out = self.negation(child_arc)
+            full = np.ones_like(child_sig)
+            return out, full
+        if isinstance(head, Union):
+            raise ValueError("unions must be removed by DNF before embedding")
+        raise TypeError(f"unknown node type: {type(head).__name__}")
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def _points_for(self, entity_ids: np.ndarray) -> Tensor:
+        return F.wrap_angle(self.entity_points(entity_ids))
+
+    def distance_to_entities(self, embedding: HalkQueryEmbedding,
+                             entity_ids: np.ndarray) -> Tensor:
+        entity_ids = np.asarray(entity_ids, dtype=np.int64)
+        if entity_ids.ndim != 2:
+            raise ValueError("entity_ids must be (B, M)")
+        points = self._points_for(entity_ids)  # (B, M, d)
+        return self._min_branch_distance(embedding, points)
+
+    def distance_to_all(self, embedding: HalkQueryEmbedding) -> Tensor:
+        all_ids = np.arange(self.num_entities, dtype=np.int64)
+        points = self._points_for(all_ids)  # (N, d)
+        return self._min_branch_distance(embedding, points)
+
+    def _min_branch_distance(self, embedding: HalkQueryEmbedding,
+                             points: Tensor) -> Tensor:
+        """DNF distance: minimum over conjunctive branches (§III-G)."""
+        best: Tensor | None = None
+        for arc in embedding.branches:
+            dist = distance_to_points(arc, points, self.config.eta)
+            best = dist if best is None else F.minimum(best, dist)
+        return best
+
+    # ------------------------------------------------------------------
+    # group signatures (for the ξ term of Eq. 17)
+    # ------------------------------------------------------------------
+    def query_signature(self, embedding: HalkQueryEmbedding) -> np.ndarray:
+        return embedding.signature
+
+    def size_penalty(self, embedding: HalkQueryEmbedding) -> Tensor:
+        total = None
+        for arc in embedding.branches:
+            term = arc.angle.mean()
+            total = term if total is None else total + term
+        return total / float(len(embedding.branches))
+
+    def entity_signatures(self, entity_ids: np.ndarray) -> np.ndarray:
+        return self.groups.one_hot[np.asarray(entity_ids, dtype=np.int64)]

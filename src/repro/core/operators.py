@@ -1,0 +1,278 @@
+"""Neural models for the five logical operators (paper §III-B..F).
+
+Each operator maps input :class:`Arc` batches to an output :class:`Arc`:
+
+* :class:`ProjectionOperator` — Eq. (2)/(3): rotate by the relation, then
+  jointly refine centre and span from the (start, end) pair.
+* :class:`DifferenceOperator` — Eq. (4)–(9): semantic-average centre with
+  head/rest asymmetric attention, arclength shrunk under the cardinality
+  constraint from chord-length overlaps.
+* :class:`IntersectionOperator` — Eq. (10)–(12): semantic-average centre
+  with group-similarity attention, arclength capped by the minimum input.
+* :class:`NegationOperator` — Eq. (13)/(14): antipodal linear init plus a
+  non-linear correction network.
+* Union is non-parametric (DNF, §III-F) and lives in the model.
+
+Implementation clarifications versus the printed equations (also recorded
+in DESIGN.md):
+
+* MLP inputs are the (sin, cos) chart of the angles (periodicity-safe),
+  matching the chord-length treatment the paper uses for all distances.
+* Centre/span outputs are parameterised as the geometric initialisation
+  plus a bounded learned correction ``π·tanh(·)`` — the same function
+  class as Eq. (2)/(14) (``g`` squashes into a 2π-wide interval) but
+  centred on the rotation instead of on π, which conditions training far
+  better at small scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import F, MLP, Module, Parameter, Tensor
+from .arc import TWO_PI, Arc, angle_features
+
+__all__ = [
+    "ProjectionOperator", "DifferenceOperator", "IntersectionOperator",
+    "NegationOperator", "squash_angle", "semantic_average_center",
+    "zero_init_output",
+]
+
+
+def zero_init_output(mlp: MLP) -> MLP:
+    """Zero the output layer so a correction branch starts as identity.
+
+    The operator networks are parameterised as geometric initialisation
+    plus a bounded correction; zero-initialising the correction's output
+    layer makes a fresh model *exactly* the rotation/antipode geometry, so
+    early training cannot scramble the backbone before the embeddings
+    settle (standard residual-branch initialisation).
+    """
+    mlp.output.weight.data[...] = 0.0
+    if mlp.output.bias is not None:
+        mlp.output.bias.data[...] = 0.0
+    return mlp
+
+
+def squash_angle(x: Tensor, lambda_scale: float = 1.0) -> Tensor:
+    """The regulator ``g`` of Eq. (3): ``π·tanh(λx) + π`` into (0, 2π)."""
+    return np.pi * F.tanh(lambda_scale * x) + np.pi
+
+
+def _pair_features(arc: Arc) -> Tensor:
+    """Feature map of the (start, end) coordinated information pair."""
+    return F.concat([angle_features(arc.start), angle_features(arc.end)],
+                    axis=-1)
+
+
+def semantic_average_center(arcs: list[Arc], weights: list[Tensor]) -> Tensor:
+    """Attention-weighted centre in rectangular coordinates (Eq. 4–6).
+
+    Converting to (x, y), averaging, and mapping back through ``arctan2``
+    sidesteps the periodicity problem of averaging raw angles; `arctan2`
+    plays the role of the paper's ``Reg`` function (quadrant-correct
+    inverse tangent).
+    """
+    radius = arcs[0].radius
+    x_avg: Tensor | None = None
+    y_avg: Tensor | None = None
+    for arc, weight in zip(arcs, weights):
+        x_i = weight * (radius * F.cos(arc.center))
+        y_i = weight * (radius * F.sin(arc.center))
+        x_avg = x_i if x_avg is None else x_avg + x_i
+        y_avg = y_i if y_avg is None else y_avg + y_i
+    # Guard the degenerate all-cancelling case the paper handles by
+    # nudging x away from zero.
+    eps = 1e-9
+    x_safe = x_avg + F.sign(x_avg) * eps + eps * (1.0 - F.abs_(F.sign(x_avg)))
+    return F.wrap_angle(F.arctan2(y_avg, x_safe))
+
+
+class ProjectionOperator(Module):
+    """Relational projection ``P`` (Eq. 2/3)."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        d = config.embedding_dim
+        # (sin, cos) of start and end points -> 4d input features
+        self.center_mlp = zero_init_output(MLP(4 * d, config.hidden_dim, d,
+                                                rng=rng))
+        self.length_mlp = zero_init_output(MLP(4 * d, config.hidden_dim, d,
+                                                rng=rng))
+
+    def forward(self, head: Arc, relation: Arc) -> Arc:
+        radius = head.radius
+        # rotation initialisation: ~A_c = A_{h,c} + A_{r,c}, ~A_l likewise
+        approx = Arc(head.center + relation.center,
+                     F.clip(head.length + relation.length, 0.0, TWO_PI * radius),
+                     radius)
+        features = _pair_features(approx)
+        center = F.wrap_angle(
+            approx.center + np.pi * F.tanh(self.config.lambda_scale
+                                           * self.center_mlp(features)))
+        angle = F.clip(
+            approx.angle + np.pi * F.tanh(self.config.lambda_scale
+                                          * self.length_mlp(features)),
+            0.0, TWO_PI)
+        return Arc(center, radius * angle, radius)
+
+
+class _OverlapDeepSets(Module):
+    """DeepSets over chord-length overlaps (Eq. 8/9)."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        d = config.embedding_dim
+        self.inner = MLP(2 * d, config.hidden_dim, config.hidden_dim, rng=rng)
+        self.outer = MLP(config.hidden_dim, config.hidden_dim, d, rng=rng)
+
+    def forward(self, head: Arc, rest: list[Arc]) -> Tensor:
+        radius = head.radius
+        encoded: Tensor | None = None
+        for other in rest:
+            # signed chord between centres + arclength gap (Eq. 9)
+            delta_c = 2.0 * radius * F.sin((head.center - other.center) / 2.0)
+            delta_l = head.length - other.length
+            item = self.inner(F.concat([delta_c, delta_l], axis=-1))
+            encoded = item if encoded is None else encoded + item
+        return self.outer(encoded / float(len(rest)))
+
+
+class DifferenceOperator(Module):
+    """Set difference ``D`` with a closed-form answer region (Eq. 4–9).
+
+    The output arc is constrained to lie inside the first input: the
+    centre is an attention average dominated by the head input (the
+    ``κ_head``/``κ_rest`` vectors hard-code the asymmetry while staying
+    permutation-invariant over inputs 2..k), and the arclength is the
+    head's arclength shrunk by a sigmoid factor (Eq. 8) — hence the
+    result is always a valid sub-arc, avoiding NewLook's fixed-lossy box
+    problem.
+    """
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        d = config.embedding_dim
+        self.attention_mlp = MLP(4 * d, config.hidden_dim, d, rng=rng)
+        self.kappa_head = Parameter(np.full(d, 2.0))
+        self.kappa_rest = Parameter(np.zeros(d))
+        self.overlap = _OverlapDeepSets(config, rng)
+
+    def forward(self, arcs: list[Arc]) -> Arc:
+        if len(arcs) < 2:
+            raise ValueError("difference needs at least two inputs")
+        head, rest = arcs[0], list(arcs[1:])
+        radius = head.radius
+        scores = []
+        for index, arc in enumerate(arcs):
+            kappa = self.kappa_head if index == 0 else self.kappa_rest
+            scores.append(kappa * self.attention_mlp(_pair_features(arc)))
+        weights = F.softmax(F.stack(scores, axis=0), axis=0)
+        weight_list = [weights[i] for i in range(len(arcs))]
+        center = semantic_average_center(arcs, weight_list)
+        shrink = F.sigmoid(self.overlap(head, rest))
+        length = head.length * shrink  # cardinality constraint: ⊆ head
+        return Arc(center, length, radius)
+
+
+class _SetDeepSets(Module):
+    """DeepSets over (start, end) pair features (Eq. 12)."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        d = config.embedding_dim
+        self.inner = MLP(4 * d, config.hidden_dim, config.hidden_dim, rng=rng)
+        self.outer = MLP(config.hidden_dim, config.hidden_dim, d, rng=rng)
+
+    def forward(self, arcs: list[Arc]) -> Tensor:
+        encoded: Tensor | None = None
+        for arc in arcs:
+            item = self.inner(_pair_features(arc))
+            encoded = item if encoded is None else encoded + item
+        return self.outer(encoded / float(len(arcs)))
+
+
+class IntersectionOperator(Module):
+    """Conjunction ``I`` (Eq. 10–12).
+
+    Group-signature similarities ``z_i`` (coarse random-group information,
+    §II-A) modulate the attention so inputs whose groups match the
+    intersected signature pull the centre harder; the arclength is the
+    minimum input span shrunk by a DeepSets factor, enforcing the
+    cardinality constraint |result| ≤ min |input|.
+    """
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        d = config.embedding_dim
+        self.attention_mlp = MLP(4 * d, config.hidden_dim, d, rng=rng)
+        self.deepsets = _SetDeepSets(config, rng)
+
+    def forward(self, arcs: list[Arc],
+                group_similarities: np.ndarray | None = None) -> Arc:
+        if len(arcs) < 2:
+            raise ValueError("intersection needs at least two inputs")
+        radius = arcs[0].radius
+        if group_similarities is None:
+            group_similarities = np.ones((len(arcs), arcs[0].batch_size))
+        scores = []
+        for index, arc in enumerate(arcs):
+            z = Tensor(group_similarities[index][:, None])  # (B, 1)
+            scores.append(z * self.attention_mlp(_pair_features(arc)))
+        weights = F.softmax(F.stack(scores, axis=0), axis=0)
+        weight_list = [weights[i] for i in range(len(arcs))]
+        center = semantic_average_center(arcs, weight_list)
+
+        min_angle: Tensor | None = None
+        for arc in arcs:
+            min_angle = arc.angle if min_angle is None else F.minimum(min_angle,
+                                                                      arc.angle)
+        angle = min_angle * F.sigmoid(self.deepsets(arcs))
+        return Arc(center, radius * angle, radius)
+
+
+class NegationOperator(Module):
+    """Complement ``N`` (Eq. 13/14).
+
+    The linear initialisation flips the centre to the antipode and takes
+    the complementary arclength (so query and complement tile the whole
+    circle); the non-linear network then corrects both jointly — this is
+    what lets HaLk move beyond the linear-transformation assumption of
+    BetaE/ConE/MLPMix.
+    """
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        d = config.embedding_dim
+        self.center_encoder = MLP(2 * d, config.hidden_dim, config.hidden_dim,
+                                  rng=rng)
+        self.angle_encoder = MLP(d, config.hidden_dim, config.hidden_dim,
+                                 rng=rng)
+        self.center_mlp = zero_init_output(
+            MLP(2 * config.hidden_dim, config.hidden_dim, d, rng=rng))
+        self.angle_mlp = zero_init_output(
+            MLP(2 * config.hidden_dim, config.hidden_dim, d, rng=rng))
+
+    def linear_negation(self, arc: Arc) -> Arc:
+        """The linear part alone (Eq. 13) — also the HaLk-V2 ablation."""
+        center = F.wrap_angle(arc.center + np.pi)
+        length = TWO_PI * arc.radius - arc.length
+        return Arc(center, length, arc.radius)
+
+    def forward(self, arc: Arc) -> Arc:
+        radius = arc.radius
+        approx = self.linear_negation(arc)
+        t1 = self.center_encoder(angle_features(approx.center))
+        t2 = self.angle_encoder(approx.angle / np.pi - 1.0)  # scaled to [-1, 1]
+        joint = F.concat([t1, t2], axis=-1)
+        center = F.wrap_angle(
+            approx.center + np.pi * F.tanh(self.config.lambda_scale
+                                           * self.center_mlp(joint)))
+        angle = F.clip(
+            approx.angle + np.pi * F.tanh(self.config.lambda_scale
+                                          * self.angle_mlp(joint)),
+            0.0, TWO_PI)
+        return Arc(center, radius * angle, radius)

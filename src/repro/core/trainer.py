@@ -1,0 +1,208 @@
+"""Generic training loop (paper Algorithm 1).
+
+Works with any :class:`~repro.core.model.QueryModel`: batches of
+same-structure queries are embedded, one positive answer and ``m`` sampled
+negatives per query are scored, and the Eq. (17) loss is optimised with
+Adam.  Models that expose group signatures (HaLk) get the ξ margin term;
+baselines simply skip it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import TrainConfig
+from ..nn import Adam
+from ..queries.dataset import QueryWorkload, batches
+from ..queries.sampler import GroundedQuery
+from .loss import group_penalty, halk_loss
+from .model import QueryModel
+
+__all__ = ["Trainer", "TrainingHistory", "CurriculumPhase",
+           "train_curriculum"]
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trace and timing of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    epoch_losses: list[float] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class Trainer:
+    """Trains a query model on a workload of grounded queries.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`QueryModel`.
+    workload:
+        Training queries (answers computed on the training graph).
+    config:
+        Loop hyper-parameters.
+    gamma, xi:
+        Loss margin and group-penalty weight.  Defaults are read from
+        ``model.config`` when the model carries one.
+    """
+
+    def __init__(self, model: QueryModel, workload: QueryWorkload,
+                 config: TrainConfig | None = None,
+                 gamma: float | None = None, xi: float | None = None):
+        self.model = model
+        self.workload = workload
+        self.config = config or TrainConfig()
+        model_config = getattr(model, "config", None)
+        self.gamma = gamma if gamma is not None else getattr(model_config,
+                                                             "gamma", 9.0)
+        self.xi = xi if xi is not None else getattr(model_config, "xi", 0.0)
+        self.rng = np.random.default_rng(self.config.seed)
+        embedding_lr = self.config.embedding_learning_rate
+        if embedding_lr is None or embedding_lr == self.config.learning_rate:
+            self.optimizers = [Adam(model.parameters(),
+                                    lr=self.config.learning_rate)]
+        else:
+            # two-speed regime: embedding rows are each touched rarely and
+            # tolerate (need) a much larger step than the shared operator
+            # networks, which see every sample
+            self.optimizers = [
+                Adam(model.embedding_parameters(), lr=embedding_lr),
+                Adam(model.network_parameters(), lr=self.config.learning_rate),
+            ]
+
+    # ------------------------------------------------------------------
+    def train(self) -> TrainingHistory:
+        """Run the full loop; returns the loss history."""
+        history = TrainingHistory()
+        started = time.perf_counter()
+        for epoch in range(self.config.epochs):
+            epoch_losses: list[float] = []
+            for structure in self.workload.structures():
+                queries = self.workload[structure]
+                for batch in batches(queries, self.config.batch_size,
+                                     rng=self.rng):
+                    loss_value = self.step(batch)
+                    epoch_losses.append(loss_value)
+                    history.losses.append(loss_value)
+            mean_loss = float(np.mean(epoch_losses))
+            history.epoch_losses.append(mean_loss)
+            if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
+                print(f"[{self.model.name}] epoch {epoch + 1}/"
+                      f"{self.config.epochs} loss {mean_loss:.4f}")
+        history.seconds = time.perf_counter() - started
+        return history
+
+    def step(self, batch: list[GroundedQuery]) -> float:
+        """One optimisation step on a same-structure batch."""
+        queries = [q.query for q in batch]
+        positives = self._sample_positives(batch)
+        negatives = self._sample_negatives(batch)
+
+        for optimizer in self.optimizers:
+            optimizer.zero_grad()
+        embedding = self.model.embed_batch(queries)
+        pos_dist = self.model.distance_to_entities(
+            embedding, positives[:, None])[:, 0]
+        neg_dist = self.model.distance_to_entities(embedding, negatives)
+
+        pos_pen = neg_pen = None
+        xi = 0.0
+        signature = self.model.query_signature(embedding)
+        if signature is not None and self.xi > 0:
+            xi = self.xi
+            pos_pen = group_penalty(
+                self.model.entity_signatures(positives), signature)
+            neg_pen = group_penalty(
+                self.model.entity_signatures(negatives), signature[:, None, :])
+        loss = halk_loss(pos_dist, neg_dist, self.gamma, xi, pos_pen, neg_pen,
+                         self.config.adversarial_temperature)
+        if self.config.size_regularization > 0:
+            penalty = self.model.size_penalty(embedding)
+            if penalty is not None:
+                loss = loss + self.config.size_regularization * penalty
+        loss.backward()
+        for optimizer in self.optimizers:
+            optimizer.step()
+        return float(loss.data)
+
+    # ------------------------------------------------------------------
+    def _sample_positives(self, batch: list[GroundedQuery]) -> np.ndarray:
+        out = np.empty(len(batch), dtype=np.int64)
+        for i, query in enumerate(batch):
+            answers = tuple(query.easy_answers) or tuple(query.hard_answers)
+            out[i] = answers[int(self.rng.integers(len(answers)))]
+        return out
+
+    def _sample_negatives(self, batch: list[GroundedQuery]) -> np.ndarray:
+        m = self.config.num_negatives
+        n = self.model.num_entities
+        out = np.empty((len(batch), m), dtype=np.int64)
+        for i, query in enumerate(batch):
+            answers = query.all_answers
+            if len(answers) >= n:
+                out[i] = self.rng.integers(0, n, size=m)
+                continue
+            draws = self.rng.integers(0, n, size=m)
+            for j in range(m):
+                while int(draws[j]) in answers:
+                    draws[j] = self.rng.integers(0, n)
+            out[i] = draws
+        return out
+
+
+@dataclass(frozen=True)
+class CurriculumPhase:
+    """One stage of a training curriculum.
+
+    ``structures`` restricts the workload (None = every structure);
+    ``config`` carries the stage's loop hyper-parameters.
+    """
+
+    config: TrainConfig
+    structures: tuple[str, ...] | None = None
+
+
+def train_curriculum(model: QueryModel, workload: QueryWorkload,
+                     phases: list[CurriculumPhase],
+                     gamma: float | None = None,
+                     xi: float | None = None) -> TrainingHistory:
+    """Train through a sequence of phases (link prediction first).
+
+    The geometric backbones (arcs, cones) converge to a *compositional*
+    solution far more reliably when the entity/relation geometry is first
+    established on plain link prediction (1p) at a high learning rate and
+    the multi-hop operator networks are tuned afterwards at a gentler
+    rate.  This mirrors how the paper's own scale (hundreds of thousands
+    of joint steps) lets geometry settle before the operators dominate.
+
+    Optimizer state is rebuilt between phases (fresh Adam moments), which
+    is intentional: each phase is an independent annealing stage.
+    """
+    if not phases:
+        raise ValueError("need at least one curriculum phase")
+    merged = TrainingHistory()
+    for phase in phases:
+        if phase.structures is None:
+            stage_workload = workload
+        else:
+            stage_workload = QueryWorkload(
+                {name: list(workload[name]) for name in phase.structures
+                 if name in workload.queries})
+            if not stage_workload.queries:
+                raise ValueError(f"no workload structures match "
+                                 f"{phase.structures}")
+        trainer = Trainer(model, stage_workload, phase.config,
+                          gamma=gamma, xi=xi)
+        history = trainer.train()
+        merged.losses.extend(history.losses)
+        merged.epoch_losses.extend(history.epoch_losses)
+        merged.seconds += history.seconds
+    return merged

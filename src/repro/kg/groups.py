@@ -1,0 +1,103 @@
+"""Random node groups and the relation-wise group adjacency tensor.
+
+Paper §II-A: "we randomly divide all the nodes in KGs into different groups
+with video memory-friendly size and record the group ownership of each node
+by one-hot vectors.  In addition, a relation-based 3D adjacency matrix is
+adopted to track the connectivity between groups based on each predicate."
+
+The group signature of a query node is propagated *symbolically* through
+the computation graph and used in two places:
+
+* the intersection operator's attention weights (Eq. 10, the ``z_i`` term),
+* the loss function's group-consistency penalty (Eq. 17, the ``ξ`` term).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+
+__all__ = ["GroupAssignment"]
+
+
+class GroupAssignment:
+    """Random entity grouping plus the 3D group-adjacency tensor.
+
+    Parameters
+    ----------
+    kg:
+        The (training) graph whose connectivity defines group adjacency.
+    num_groups:
+        Number of random groups ("video-memory-friendly size" in the paper;
+        here simply a small constant).
+    seed:
+        Seed for the random group assignment.
+    """
+
+    def __init__(self, kg: KnowledgeGraph, num_groups: int = 16, seed: int = 0):
+        if num_groups <= 0:
+            raise ValueError("num_groups must be positive")
+        self.num_groups = min(num_groups, kg.num_entities)
+        rng = np.random.default_rng(seed)
+        self.entity_group = rng.integers(0, self.num_groups, size=kg.num_entities)
+        # one-hot matrix: row per entity
+        self.one_hot = np.zeros((kg.num_entities, self.num_groups), dtype=np.float64)
+        self.one_hot[np.arange(kg.num_entities), self.entity_group] = 1.0
+        # adjacency[r, i, k] = 1 iff some (h in group i) --r--> (t in group k)
+        self.adjacency = np.zeros((kg.num_relations, self.num_groups, self.num_groups),
+                                  dtype=np.float64)
+        for head, rel, tail in kg:
+            self.adjacency[rel, self.entity_group[head], self.entity_group[tail]] = 1.0
+
+    # ------------------------------------------------------------------
+    # signatures
+    # ------------------------------------------------------------------
+    def entity_signature(self, entity: int) -> np.ndarray:
+        """One-hot group signature of a single entity."""
+        return self.one_hot[entity].copy()
+
+    def batch_signature(self, entities) -> np.ndarray:
+        """Stack of one-hot signatures for a batch of entity ids."""
+        return self.one_hot[np.asarray(entities, dtype=np.int64)].copy()
+
+    # ------------------------------------------------------------------
+    # symbolic propagation through logical operators
+    # ------------------------------------------------------------------
+    def project(self, signature: np.ndarray, rel: int) -> np.ndarray:
+        """Image of a group signature under relation ``rel``.
+
+        A group bit is set in the output iff any set input group can reach
+        it via ``rel`` in the group adjacency.
+        """
+        reached = signature @ self.adjacency[rel]
+        return (reached > 0).astype(np.float64)
+
+    def intersect(self, signatures: list[np.ndarray]) -> np.ndarray:
+        """Element-wise AND over multi-hot signatures (paper's ⊙)."""
+        out = signatures[0].copy()
+        for sig in signatures[1:]:
+            out = out * sig
+        return out
+
+    def union(self, signatures: list[np.ndarray]) -> np.ndarray:
+        """Element-wise OR over multi-hot signatures."""
+        out = signatures[0].copy()
+        for sig in signatures[1:]:
+            out = np.maximum(out, sig)
+        return out
+
+    def difference(self, signatures: list[np.ndarray]) -> np.ndarray:
+        """Difference keeps the first input's signature (result ⊆ first)."""
+        return signatures[0].copy()
+
+    def negate(self, signature: np.ndarray) -> np.ndarray:
+        """Complement: a negated set may live in any group.
+
+        The complement of a small set is huge and generally touches every
+        group, so the sound over-approximation is the full multi-hot
+        vector.  (Bit-flipping would wrongly exclude groups that contain
+        both answers and non-answers.)
+        """
+        del signature
+        return np.ones(self.num_groups, dtype=np.float64)

@@ -1,0 +1,87 @@
+"""On-disk persistence for knowledge graphs and splits.
+
+Uses the same plain-text layout as the public FB15k/NELL releases: one TSV
+of ``head<TAB>relation<TAB>tail`` per split plus two vocabulary files.
+This lets users drop in the *real* datasets when they have them — the
+loaders do not care whether the triples came from `datasets.py` or from
+the original dumps.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from .datasets import DatasetSplits
+from .graph import KnowledgeGraph
+
+__all__ = ["save_kg", "load_kg", "save_splits", "load_splits"]
+
+_ENTITY_FILE = "entities.txt"
+_RELATION_FILE = "relations.txt"
+
+
+def save_kg(kg: KnowledgeGraph, path: str | pathlib.Path,
+            triples_file: str = "triples.tsv") -> None:
+    """Write a graph as vocab files plus a triples TSV under ``path``."""
+    path = pathlib.Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / _ENTITY_FILE).write_text(
+        "".join(f"{name}\n" for name in kg.entity_names))
+    (path / _RELATION_FILE).write_text(
+        "".join(f"{name}\n" for name in kg.relation_names))
+    with open(path / triples_file, "w") as handle:
+        for head, rel, tail in sorted(kg.triples):
+            handle.write(f"{kg.entity_names[head]}\t{kg.relation_names[rel]}\t"
+                         f"{kg.entity_names[tail]}\n")
+
+
+def _read_vocab(path: pathlib.Path) -> list[str]:
+    with open(path) as handle:
+        return [line.rstrip("\n") for line in handle if line.strip()]
+
+
+def load_kg(path: str | pathlib.Path,
+            triples_file: str = "triples.tsv") -> KnowledgeGraph:
+    """Load a graph saved by :func:`save_kg` (or real TSV benchmark dumps)."""
+    path = pathlib.Path(path)
+    entity_names = _read_vocab(path / _ENTITY_FILE)
+    relation_names = _read_vocab(path / _RELATION_FILE)
+    entity_id = {name: i for i, name in enumerate(entity_names)}
+    relation_id = {name: i for i, name in enumerate(relation_names)}
+    triples = []
+    with open(path / triples_file) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"{path / triples_file}:{line_no}: "
+                                 f"expected 3 tab-separated fields, got {len(parts)}")
+            head, rel, tail = parts
+            try:
+                triples.append((entity_id[head], relation_id[rel], entity_id[tail]))
+            except KeyError as exc:
+                raise ValueError(f"{path / triples_file}:{line_no}: "
+                                 f"unknown vocabulary item {exc}") from exc
+    return KnowledgeGraph(len(entity_names), len(relation_names), triples,
+                          entity_names, relation_names)
+
+
+def save_splits(splits: DatasetSplits, path: str | pathlib.Path) -> None:
+    """Persist train/valid/test triple files sharing one vocabulary."""
+    path = pathlib.Path(path)
+    save_kg(splits.test, path, triples_file="test.tsv")
+    save_kg(splits.valid, path, triples_file="valid.tsv")
+    save_kg(splits.train, path, triples_file="train.tsv")
+
+
+def load_splits(path: str | pathlib.Path, name: str = "loaded") -> DatasetSplits:
+    """Load splits saved by :func:`save_splits`."""
+    path = pathlib.Path(path)
+    return DatasetSplits(
+        name=name,
+        train=load_kg(path, "train.tsv"),
+        valid=load_kg(path, "valid.tsv"),
+        test=load_kg(path, "test.tsv"),
+    )

@@ -1,0 +1,119 @@
+"""Knowledge-graph statistics: the numbers dataset tables report.
+
+Real benchmark releases (FB15k, NELL995) ship with summary statistics;
+this module computes the same figures for any :class:`KnowledgeGraph`,
+including the relation cardinality classification (1-1 / 1-N / N-1 / N-N)
+introduced by the TransE paper — the property that motivates modelling
+answer-set cardinality with arc spans.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+
+__all__ = ["RelationProfile", "GraphStats", "profile_relation",
+           "graph_stats", "format_stats"]
+
+
+@dataclass(frozen=True)
+class RelationProfile:
+    """Cardinality profile of one relation."""
+
+    relation: int
+    name: str
+    num_triples: int
+    num_heads: int
+    num_tails: int
+    mean_tails_per_head: float
+    mean_heads_per_tail: float
+    category: str  # "1-1", "1-N", "N-1", "N-N"
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a knowledge graph."""
+
+    num_entities: int
+    num_relations: int
+    num_triples: int
+    num_connected_entities: int
+    mean_degree: float
+    max_degree: int
+    degree_gini: float
+    relation_profiles: tuple[RelationProfile, ...]
+
+    @property
+    def category_counts(self) -> dict[str, int]:
+        return dict(Counter(p.category for p in self.relation_profiles))
+
+
+def profile_relation(kg: KnowledgeGraph, relation: int,
+                     threshold: float = 1.5) -> RelationProfile:
+    """Classify a relation's cardinality (TransE convention).
+
+    A side is "N" when the mean fan exceeds ``threshold``.
+    """
+    pairs = kg.relation_pairs(relation)
+    heads = {h for h, _ in pairs}
+    tails = {t for _, t in pairs}
+    n = len(pairs)
+    tails_per_head = n / len(heads) if heads else 0.0
+    heads_per_tail = n / len(tails) if tails else 0.0
+    head_side = "N" if heads_per_tail > threshold else "1"
+    tail_side = "N" if tails_per_head > threshold else "1"
+    return RelationProfile(
+        relation=relation,
+        name=kg.relation_names[relation],
+        num_triples=n,
+        num_heads=len(heads),
+        num_tails=len(tails),
+        mean_tails_per_head=tails_per_head,
+        mean_heads_per_tail=heads_per_tail,
+        category=f"{head_side}-{tail_side}",
+    )
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (degree skew measure)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0 or values.sum() == 0:
+        return 0.0
+    n = values.size
+    index = np.arange(1, n + 1)
+    return float((2 * index - n - 1) @ values / (n * values.sum()))
+
+
+def graph_stats(kg: KnowledgeGraph) -> GraphStats:
+    """Compute the full statistics summary for a graph."""
+    degrees = np.array([kg.degree(e) for e in range(kg.num_entities)])
+    profiles = tuple(profile_relation(kg, r) for r in range(kg.num_relations))
+    return GraphStats(
+        num_entities=kg.num_entities,
+        num_relations=kg.num_relations,
+        num_triples=kg.num_triples,
+        num_connected_entities=int((degrees > 0).sum()),
+        mean_degree=float(degrees.mean()),
+        max_degree=int(degrees.max(initial=0)),
+        degree_gini=_gini(degrees),
+        relation_profiles=profiles,
+    )
+
+
+def format_stats(stats: GraphStats, name: str = "graph") -> str:
+    """Human-readable statistics block."""
+    lines = [
+        f"{name}: {stats.num_entities} entities, {stats.num_relations} "
+        f"relations, {stats.num_triples} triples",
+        f"  connected entities: {stats.num_connected_entities}",
+        f"  degree: mean {stats.mean_degree:.2f}, max {stats.max_degree}, "
+        f"gini {stats.degree_gini:.3f}",
+        f"  relation categories: "
+        + ", ".join(f"{k}: {v}" for k, v in
+                    sorted(stats.category_counts.items())),
+    ]
+    return "\n".join(lines)

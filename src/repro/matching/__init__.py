@@ -1,0 +1,11 @@
+"""``repro.matching`` — GFinder subgraph matching and HaLk-based pruning."""
+
+from .gfinder import (GFinder, PatternEdge, PatternGraph,
+                      SearchBudgetExceeded, compile_pattern)
+from .pruning import PrunedGFinder, candidate_set, variable_subqueries
+
+__all__ = [
+    "GFinder", "PatternEdge", "PatternGraph", "compile_pattern",
+    "SearchBudgetExceeded",
+    "PrunedGFinder", "candidate_set", "variable_subqueries",
+]

@@ -1,0 +1,94 @@
+"""HaLk as a pruning strategy for subgraph matching (paper §IV-D).
+
+For each variable node of the query's computation graph, the trained
+embedding model ranks entities against the sub-query rooted at that node;
+the union of the top-k candidates over all variable nodes (plus the
+anchors) forms a node set ``S``.  GFinder then runs on the data graph
+induced by ``S`` — a drastically smaller search space, which is where the
+~3x online-time reduction of Fig. 6a comes from, at a small accuracy cost
+(candidates missed by the embedding ranking cannot be recovered by the
+matcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.model import QueryModel
+from ..queries.computation_graph import (Difference, Entity, Intersection,
+                                         Negation, Node, Projection, Union)
+from .gfinder import GFinder
+
+__all__ = ["variable_subqueries", "candidate_set", "PrunedGFinder"]
+
+
+def variable_subqueries(query: Node) -> list[Node]:
+    """Sub-queries rooted at every variable node of the computation graph.
+
+    Anchors are excluded (they are known entities); every other node of
+    the DAG corresponds to an existentially quantified variable or the
+    target, and its rooted subtree is itself a query the model can rank.
+    Negation subtrees are skipped: their candidate sets are complements
+    (huge), so pruning by top-k would be meaningless.
+    """
+    out: list[Node] = []
+
+    def walk(node: Node) -> None:
+        if isinstance(node, Entity):
+            return
+        if isinstance(node, Negation):
+            # rank the negated operand instead (its matches are needed to
+            # evaluate the set subtraction)
+            walk(node.operand)
+            return
+        out.append(node)
+        if isinstance(node, Projection):
+            walk(node.operand)
+        elif isinstance(node, (Intersection, Union, Difference)):
+            for operand in node.operands:
+                walk(operand)
+
+    walk(query)
+    return out
+
+
+def candidate_set(model: QueryModel, query: Node, top_k: int = 20) -> set[int]:
+    """The pruned node set ``S``: anchors + top-k per variable node."""
+    candidates: set[int] = set()
+    for node in variable_subqueries(query):
+        candidates.update(model.answer(node, top_k=top_k))
+    for node in _anchors(query):
+        candidates.add(node)
+    return candidates
+
+
+def _anchors(query: Node) -> list[int]:
+    from ..queries.computation_graph import anchors
+    return anchors(query)
+
+
+@dataclass
+class PrunedGFinder:
+    """GFinder running on the HaLk-pruned induced data graph.
+
+    Parameters
+    ----------
+    model:
+        A trained query-embedding model providing the candidate ranking.
+    gfinder:
+        The matcher (bound to the observed data graph).
+    top_k:
+        Candidates kept per variable node (paper: 20).
+    """
+
+    model: QueryModel
+    gfinder: GFinder
+    top_k: int = 20
+
+    def execute(self, query: Node) -> set[int]:
+        """Answer ``query`` by matching inside the pruned candidate set."""
+        keep = candidate_set(self.model, query, self.top_k)
+        induced = self.gfinder.kg.induced_subgraph(keep)
+        pruned_matcher = GFinder(induced, self.gfinder.max_missing_edges,
+                                 self.gfinder.max_states)
+        return pruned_matcher.execute(query, candidate_filter=keep)

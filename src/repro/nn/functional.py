@@ -1,0 +1,291 @@
+"""Differentiable operations on :class:`~repro.nn.tensor.Tensor`.
+
+These functions build on the primitive arithmetic in ``tensor.py`` and add
+the element-wise nonlinearities, trigonometry, and structural operations the
+HaLk model family needs (rotation geometry works in angles, attention needs
+softmax/concat, embedding tables need gather with scatter-add gradients).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs_", "sign",
+    "sin", "cos", "arctan2", "maximum", "minimum", "clip",
+    "concat", "stack", "softmax", "gather_rows", "mod", "wrap_angle",
+    "l1_norm", "logsumexp", "where", "softplus", "log_sigmoid",
+]
+
+
+def _unary(x: Tensor, data: np.ndarray, grad_fn) -> Tensor:
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._receive(grad * grad_fn())
+
+    return Tensor._make(data, (x,), backward)
+
+
+def exp(x) -> Tensor:
+    """Element-wise exponential."""
+    x = as_tensor(x)
+    data = np.exp(x.data)
+    return _unary(x, data, lambda: data)
+
+
+def log(x) -> Tensor:
+    """Element-wise natural logarithm."""
+    x = as_tensor(x)
+    data = np.log(x.data)
+    return _unary(x, data, lambda: 1.0 / x.data)
+
+
+def sqrt(x) -> Tensor:
+    """Element-wise square root."""
+    x = as_tensor(x)
+    data = np.sqrt(x.data)
+    return _unary(x, data, lambda: 0.5 / np.maximum(data, 1e-12))
+
+
+def tanh(x) -> Tensor:
+    """Element-wise hyperbolic tangent."""
+    x = as_tensor(x)
+    data = np.tanh(x.data)
+    return _unary(x, data, lambda: 1.0 - data ** 2)
+
+
+def sigmoid(x) -> Tensor:
+    """Element-wise logistic sigmoid, computed stably."""
+    x = as_tensor(x)
+    data = np.where(x.data >= 0,
+                    1.0 / (1.0 + np.exp(-np.abs(x.data))),
+                    np.exp(-np.abs(x.data)) / (1.0 + np.exp(-np.abs(x.data))))
+    return _unary(x, data, lambda: data * (1.0 - data))
+
+
+def relu(x) -> Tensor:
+    """Element-wise rectified linear unit."""
+    x = as_tensor(x)
+    data = np.maximum(x.data, 0.0)
+    return _unary(x, data, lambda: (x.data > 0).astype(np.float64))
+
+
+def abs_(x) -> Tensor:
+    """Element-wise absolute value (subgradient 0 at 0)."""
+    x = as_tensor(x)
+    data = np.abs(x.data)
+    return _unary(x, data, lambda: np.sign(x.data))
+
+
+def sign(x) -> Tensor:
+    """Element-wise sign; gradient is zero everywhere."""
+    x = as_tensor(x)
+    data = np.sign(x.data)
+    return _unary(x, data, lambda: np.zeros_like(data))
+
+
+def sin(x) -> Tensor:
+    """Element-wise sine."""
+    x = as_tensor(x)
+    data = np.sin(x.data)
+    return _unary(x, data, lambda: np.cos(x.data))
+
+
+def cos(x) -> Tensor:
+    """Element-wise cosine."""
+    x = as_tensor(x)
+    data = np.cos(x.data)
+    return _unary(x, data, lambda: -np.sin(x.data))
+
+
+def arctan2(y, x) -> Tensor:
+    """Element-wise two-argument arctangent with gradients to both inputs.
+
+    Used by the semantic-average-centre computation (Eq. 5/6 of the paper)
+    to map rectangular coordinates back to a polar angle without the
+    single-argument ``arctan`` quadrant ambiguity.
+    """
+    y = as_tensor(y)
+    x = as_tensor(x)
+    data = np.arctan2(y.data, x.data)
+    denom = x.data ** 2 + y.data ** 2
+    denom = np.maximum(denom, 1e-12)
+
+    def backward(grad: np.ndarray) -> None:
+        if y.requires_grad:
+            y._receive(_match(grad * x.data / denom, y))
+        if x.requires_grad:
+            x._receive(_match(-grad * y.data / denom, x))
+
+    return Tensor._make(data, (y, x), backward)
+
+
+def _match(grad: np.ndarray, t: Tensor) -> np.ndarray:
+    from .tensor import _unbroadcast
+    return _unbroadcast(grad, t.shape)
+
+
+def maximum(a, b) -> Tensor:
+    """Element-wise maximum (gradient split evenly on ties)."""
+    return _pairwise_extreme(a, b, np.maximum)
+
+
+def minimum(a, b) -> Tensor:
+    """Element-wise minimum (gradient split evenly on ties)."""
+    return _pairwise_extreme(a, b, np.minimum)
+
+
+def _pairwise_extreme(a, b, fn) -> Tensor:
+    a = as_tensor(a)
+    b = as_tensor(b)
+    data = fn(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a_sel = (data == a.data).astype(np.float64)
+        b_sel = (data == b.data).astype(np.float64)
+        both = a_sel + b_sel
+        if a.requires_grad:
+            a._receive(_match(grad * a_sel / both, a))
+        if b.requires_grad:
+            b._receive(_match(grad * b_sel / both, b))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def clip(x, low: float, high: float) -> Tensor:
+    """Clamp values into [low, high]; gradient is 1 strictly inside."""
+    x = as_tensor(x)
+    data = np.clip(x.data, low, high)
+    return _unary(x, data, lambda: ((x.data > low) & (x.data < high)).astype(np.float64))
+
+
+def mod(x, modulus: float) -> Tensor:
+    """``x mod modulus`` with a pass-through gradient.
+
+    The wrap is piecewise translation, so its derivative is 1 almost
+    everywhere; this makes angle normalisation differentiable.
+    """
+    x = as_tensor(x)
+    data = np.mod(x.data, modulus)
+    return _unary(x, data, lambda: np.ones_like(data))
+
+
+def wrap_angle(x) -> Tensor:
+    """Normalise angles into [0, 2*pi) with pass-through gradient.
+
+    ``np.mod`` can round tiny negative inputs up to exactly 2π; those are
+    folded back to 0 so the output interval is genuinely half-open.
+    """
+    x = as_tensor(x)
+    two_pi = 2.0 * np.pi
+    data = np.mod(x.data, two_pi)
+    data = np.where(data >= two_pi, 0.0, data)
+    return _unary(x, data, lambda: np.ones_like(data))
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                t._receive(grad[tuple(index)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for t, piece in zip(tensors, pieces):
+            if t.requires_grad:
+                t._receive(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (built from primitives)."""
+    x = as_tensor(x)
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    exps = exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp along ``axis``."""
+    x = as_tensor(x)
+    peak = Tensor(np.max(x.data, axis=axis, keepdims=True))
+    out = log(exp(x - peak).sum(axis=axis, keepdims=True)) + peak
+    if not keepdims:
+        out = out.reshape(np.sum(np.exp(x.data - peak.data), axis=axis).shape)
+    return out
+
+
+def gather_rows(table: Tensor, index) -> Tensor:
+    """Embedding lookup: select rows of ``table`` by integer ``index``.
+
+    The gradient scatter-adds into the table, which makes dense numpy
+    parameter tables usable exactly like ``torch.nn.Embedding``.
+    """
+    table = as_tensor(table)
+    index = np.asarray(index, dtype=np.int64)
+    data = table.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        if table.requires_grad:
+            full = np.zeros_like(table.data)
+            np.add.at(full, index, grad)
+            table._receive(full)
+
+    return Tensor._make(data, (table,), backward)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Select from ``a`` where ``condition`` else ``b``.
+
+    ``condition`` is a plain boolean array (not differentiable).
+    """
+    a = as_tensor(a)
+    b = as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._receive(_match(grad * cond, a))
+        if b.requires_grad:
+            b._receive(_match(grad * (~cond), b))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def l1_norm(x: Tensor, axis: int = -1) -> Tensor:
+    """L1 norm along ``axis`` (sum of absolute values)."""
+    return abs_(x).sum(axis=axis)
+
+
+def softplus(x) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``."""
+    x = as_tensor(x)
+    # softplus(x) = max(x, 0) + log1p(exp(-|x|))
+    return maximum(x, 0.0) + log(exp(-abs_(x)) + 1.0)
+
+
+def log_sigmoid(x) -> Tensor:
+    """Numerically stable ``log(sigmoid(x)) = -softplus(-x)``."""
+    return -softplus(-as_tensor(x))

@@ -1,0 +1,33 @@
+"""Parameter initialisation schemes.
+
+The paper initialises entity and relation embeddings from a uniform
+distribution; the operator MLPs use Xavier-style fan-based initialisation,
+the standard choice for tanh/relu stacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform", "xavier_uniform", "default_rng"]
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a numpy random generator (seedable for reproducibility)."""
+    return np.random.default_rng(seed)
+
+
+def uniform(shape: tuple[int, ...], low: float = -1.0, high: float = 1.0,
+            rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample uniformly from [low, high)."""
+    rng = rng or default_rng()
+    return rng.uniform(low, high, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...],
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for weight matrices."""
+    rng = rng or default_rng()
+    fan_in, fan_out = shape[0], shape[-1]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

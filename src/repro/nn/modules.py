@@ -1,0 +1,194 @@
+"""Neural-network building blocks on top of the autograd engine.
+
+Provides the ``Module``/``Parameter`` machinery and the layers the paper's
+operator networks are assembled from: ``Linear``, multi-layer perceptrons
+(``MLP``), and ``Embedding`` tables for entities and relations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "MLP", "Sequential", "Embedding"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a :class:`Module`."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters are always leaves regardless of the grad-enabled flag
+        # active at construction time.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class with automatic parameter registration and traversal."""
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its submodules."""
+        seen: set[int] = set()
+        yield from self._parameters_impl(seen)
+
+    def _parameters_impl(self, seen: set[int]) -> Iterator[Parameter]:
+        for param in self._parameters.values():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield param
+        for module in self._modules.values():
+            yield from module._parameters_impl(seen)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield (dotted-name, parameter) pairs."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def modules_of_type(self, kind: type) -> "Iterator[Module]":
+        """Yield this module and all submodules that are instances of ``kind``."""
+        if isinstance(self, kind):
+            yield self
+        for module in self._modules.values():
+            yield from module.modules_of_type(kind)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot of all parameter values (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameter values from :meth:`state_dict` output."""
+        named = dict(self.named_parameters())
+        missing = set(named) - set(state)
+        unexpected = set(state) - set(named)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, values in state.items():
+            param = named[name]
+            if param.data.shape != values.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{param.data.shape} vs {values.shape}")
+            param.data[...] = values
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = list(modules)
+        for i, module in enumerate(modules):
+            setattr(self, f"layer_{i}", module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.layers:
+            x = module(x)
+        return x
+
+
+_ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": F.relu,
+    "tanh": F.tanh,
+    "sigmoid": F.sigmoid,
+}
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden stack.
+
+    Matches the role of ``MLP(.)`` in the paper's Eq. (2), (7), (9), (12)
+    and (14): hidden layers with a nonlinearity, linear output layer.
+    """
+
+    def __init__(self, in_features: int, hidden_features: int, out_features: int,
+                 num_hidden_layers: int = 1, activation: str = "relu",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}; "
+                             f"choose from {sorted(_ACTIVATIONS)}")
+        self.activation = _ACTIVATIONS[activation]
+        self.hidden_layers: list[Linear] = []
+        width = in_features
+        for i in range(num_hidden_layers):
+            layer = Linear(width, hidden_features, rng=rng)
+            self.hidden_layers.append(layer)
+            setattr(self, f"hidden_{i}", layer)
+            width = hidden_features
+        self.output = Linear(width, out_features, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.hidden_layers:
+            x = self.activation(layer(x))
+        return self.output(x)
+
+
+class Embedding(Module):
+    """Dense lookup table with scatter-add gradients.
+
+    Plays the role of ``torch.nn.Embedding`` for entity and relation
+    embeddings.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 low: float = -1.0, high: float = 1.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.uniform((num_embeddings, embedding_dim),
+                                             low=low, high=high, rng=rng))
+
+    def forward(self, index) -> Tensor:
+        return F.gather_rows(self.weight, index)

@@ -1,0 +1,28 @@
+"""``repro.queries`` — query structures, computation graphs, grounding."""
+
+from .computation_graph import (Difference, Entity, Intersection, Negation,
+                                Node, Projection, Union, anchors, iter_nodes,
+                                query_size, relations, rename, to_dnf)
+from .dataset import QueryWorkload, WorkloadBundle, batches, build_workloads
+from .executor import answer_sets, execute
+from .printing import to_text, to_tree
+from .sampler import GroundedQuery, QuerySampler, SamplerConfig
+from .structures import (DIFFERENCE_STRUCTURES, EPFO_STRUCTURES,
+                         EVAL_ONLY_STRUCTURES, LARGE_STRUCTURES,
+                         NEGATION_STRUCTURES, QUERY_SIZE_STRUCTURES,
+                         STRUCTURES, TRAIN_STRUCTURES, QueryStructure,
+                         get_structure)
+
+__all__ = [
+    "Entity", "Projection", "Intersection", "Union", "Difference", "Negation",
+    "Node", "to_dnf", "query_size", "iter_nodes", "anchors", "relations",
+    "rename",
+    "execute", "answer_sets",
+    "GroundedQuery", "QuerySampler", "SamplerConfig",
+    "QueryStructure", "STRUCTURES", "get_structure",
+    "TRAIN_STRUCTURES", "EVAL_ONLY_STRUCTURES", "EPFO_STRUCTURES",
+    "NEGATION_STRUCTURES", "DIFFERENCE_STRUCTURES", "LARGE_STRUCTURES",
+    "QUERY_SIZE_STRUCTURES",
+    "QueryWorkload", "WorkloadBundle", "build_workloads", "batches",
+    "to_text", "to_tree",
+]

@@ -1,0 +1,151 @@
+"""Query workloads: per-structure collections with batching.
+
+A :class:`QueryWorkload` bundles, for each structure name, a list of
+grounded queries.  ``build_workloads`` produces the paper's protocol:
+
+* training queries grounded on the *training* graph (all answers easy),
+* validation queries grounded on the valid graph with hard answers
+  ``valid − train``,
+* test queries grounded on the test graph with hard answers
+  ``test − valid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..kg.datasets import DatasetSplits
+from .sampler import GroundedQuery, QuerySampler, SamplerConfig
+from .structures import (EVAL_ONLY_STRUCTURES, TRAIN_STRUCTURES,
+                         get_structure)
+
+__all__ = ["QueryWorkload", "build_workloads", "WorkloadBundle", "batches"]
+
+
+@dataclass
+class QueryWorkload:
+    """Grounded queries grouped by structure name."""
+
+    queries: dict[str, list[GroundedQuery]] = field(default_factory=dict)
+
+    def add(self, query: GroundedQuery) -> None:
+        self.queries.setdefault(query.structure, []).append(query)
+
+    def __getitem__(self, structure: str) -> list[GroundedQuery]:
+        return self.queries[structure]
+
+    def __contains__(self, structure: str) -> bool:
+        return structure in self.queries
+
+    def structures(self) -> list[str]:
+        return sorted(self.queries)
+
+    def total(self) -> int:
+        return sum(len(qs) for qs in self.queries.values())
+
+    def __iter__(self) -> Iterator[GroundedQuery]:
+        for structure in self.structures():
+            yield from self.queries[structure]
+
+
+@dataclass
+class WorkloadBundle:
+    """Train/valid/test workloads for one dataset."""
+
+    name: str
+    train: QueryWorkload
+    valid: QueryWorkload
+    test: QueryWorkload
+
+
+def build_workloads(splits: DatasetSplits,
+                    train_structures: Sequence[str] = TRAIN_STRUCTURES,
+                    eval_structures: Sequence[str] | None = None,
+                    queries_per_structure: int | Mapping[str, int] = 100,
+                    eval_queries_per_structure: int = 50,
+                    seed: int = 0,
+                    all_1p: bool = True) -> WorkloadBundle:
+    """Sample the full train/valid/test query workload for a dataset.
+
+    ``eval_structures`` defaults to the training structures plus the
+    zero-shot structures (ip, pi, 2u, up, dp), matching §IV-A.
+
+    ``queries_per_structure`` may be a mapping from structure name to
+    count.  With ``all_1p`` (the default, matching the Query2Box protocol
+    the paper follows) every training triple becomes a 1p training query,
+    which is what gives the entity embeddings full coverage.
+    """
+    if eval_structures is None:
+        eval_structures = tuple(train_structures) + tuple(
+            s for s in EVAL_ONLY_STRUCTURES if s not in train_structures)
+
+    def count_for(name: str) -> int:
+        if isinstance(queries_per_structure, Mapping):
+            return queries_per_structure.get(name, 100)
+        return queries_per_structure
+
+    train_sampler = QuerySampler(splits.train, seed=seed)
+    valid_sampler = QuerySampler(
+        splits.train, splits.valid, seed=seed + 1,
+        config=SamplerConfig(require_hard_answer=True))
+    test_sampler = QuerySampler(
+        splits.valid, splits.test, seed=seed + 2,
+        config=SamplerConfig(require_hard_answer=True))
+
+    train = QueryWorkload()
+    for name in train_structures:
+        if name == "1p" and all_1p:
+            for query in _all_link_queries(splits):
+                train.add(query)
+            continue
+        for query in train_sampler.sample_many(get_structure(name),
+                                               count_for(name)):
+            train.add(query)
+
+    valid = QueryWorkload()
+    test = QueryWorkload()
+    for name in eval_structures:
+        structure = get_structure(name)
+        for query in valid_sampler.sample_many(structure,
+                                               eval_queries_per_structure):
+            valid.add(query)
+        for query in test_sampler.sample_many(structure,
+                                              eval_queries_per_structure):
+            test.add(query)
+    return WorkloadBundle(splits.name, train, valid, test)
+
+
+def _all_link_queries(splits: DatasetSplits) -> Iterator[GroundedQuery]:
+    """One 1p training query per (head, relation) pair of the train graph.
+
+    This is the Query2Box coverage guarantee: every entity and relation
+    participates in link-prediction training, not just the sampled
+    multi-hop queries.
+    """
+    from .computation_graph import Entity, Projection
+
+    seen: set[tuple[int, int]] = set()
+    for head, rel, _tail in sorted(splits.train.triples):
+        if (head, rel) in seen:
+            continue
+        seen.add((head, rel))
+        answers = splits.train.targets(head, rel)
+        yield GroundedQuery("1p", Projection(rel, Entity(head)),
+                            frozenset(answers), frozenset())
+
+
+def batches(queries: Sequence[GroundedQuery], batch_size: int,
+            rng: np.random.Generator | None = None,
+            shuffle: bool = True) -> Iterator[list[GroundedQuery]]:
+    """Yield batches of queries (all of one structure) for training."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(queries))
+    if shuffle:
+        rng = rng or np.random.default_rng()
+        rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        yield [queries[i] for i in order[start:start + batch_size]]

@@ -1,0 +1,56 @@
+"""Exact set-semantics execution of computation graphs on a KG.
+
+This is the symbolic oracle of the reproduction: it defines what the
+*answers* of a query are on a given graph (training answers drive learning,
+test-graph answers define the evaluation ground truth, and the difference
+between the two defines the "hard" answers of the filtered protocol).
+"""
+
+from __future__ import annotations
+
+from ..kg.graph import KnowledgeGraph
+from .computation_graph import (Difference, Entity, Intersection, Negation,
+                                Node, Projection, Union)
+
+__all__ = ["execute", "answer_sets"]
+
+
+def execute(node: Node, kg: KnowledgeGraph) -> set[int]:
+    """Return the exact answer set of ``node`` evaluated on ``kg``.
+
+    The universal set for negation is the full entity vocabulary of the
+    graph, matching the paper's definition of the complement.
+    """
+    if isinstance(node, Entity):
+        if not 0 <= node.entity < kg.num_entities:
+            raise ValueError(f"anchor entity {node.entity} not in graph")
+        return {node.entity}
+    if isinstance(node, Projection):
+        return kg.project(execute(node.operand, kg), node.relation)
+    if isinstance(node, Intersection):
+        answers = execute(node.operands[0], kg)
+        for operand in node.operands[1:]:
+            if not answers:
+                return set()
+            answers &= execute(operand, kg)
+        return answers
+    if isinstance(node, Union):
+        answers: set[int] = set()
+        for operand in node.operands:
+            answers |= execute(operand, kg)
+        return answers
+    if isinstance(node, Difference):
+        answers = execute(node.operands[0], kg)
+        for operand in node.operands[1:]:
+            if not answers:
+                return set()
+            answers -= execute(operand, kg)
+        return answers
+    if isinstance(node, Negation):
+        return set(range(kg.num_entities)) - execute(node.operand, kg)
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def answer_sets(node: Node, *graphs: KnowledgeGraph) -> tuple[set[int], ...]:
+    """Execute one query against several graphs (train/valid/test)."""
+    return tuple(execute(node, kg) for kg in graphs)

@@ -1,0 +1,76 @@
+"""Human-readable rendering of computation graphs.
+
+Two renderers:
+
+* :func:`to_text` — compact one-line form using the paper's operator
+  symbols (``P``/``I``/``U``/``D``/``N``), e.g.
+  ``P[r2](I(P[r0](e3), N(P[r1](e7))))``;
+* :func:`to_tree` — indented multi-line tree for logs and debugging,
+  optionally resolving entity/relation names against a graph's vocabulary.
+"""
+
+from __future__ import annotations
+
+from ..kg.graph import KnowledgeGraph
+from .computation_graph import (Difference, Entity, Intersection, Negation,
+                                Node, Projection, Union)
+
+__all__ = ["to_text", "to_tree"]
+
+
+def _entity_label(entity: int, kg: KnowledgeGraph | None) -> str:
+    if kg is not None:
+        return kg.entity_names[entity]
+    return f"e{entity}"
+
+
+def _relation_label(relation: int, kg: KnowledgeGraph | None) -> str:
+    if kg is not None:
+        return kg.relation_names[relation]
+    return f"r{relation}"
+
+
+def to_text(node: Node, kg: KnowledgeGraph | None = None) -> str:
+    """One-line rendering with the paper's operator letters."""
+    if isinstance(node, Entity):
+        return _entity_label(node.entity, kg)
+    if isinstance(node, Projection):
+        return (f"P[{_relation_label(node.relation, kg)}]"
+                f"({to_text(node.operand, kg)})")
+    if isinstance(node, Negation):
+        return f"N({to_text(node.operand, kg)})"
+    letter = {Intersection: "I", Union: "U", Difference: "D"}[type(node)]
+    inner = ", ".join(to_text(op, kg) for op in node.operands)
+    return f"{letter}({inner})"
+
+
+def to_tree(node: Node, kg: KnowledgeGraph | None = None) -> str:
+    """Indented multi-line tree rendering."""
+    lines: list[str] = []
+
+    def walk(current: Node, prefix: str, is_last: bool) -> None:
+        connector = "" if not prefix else ("└── " if is_last else "├── ")
+        if isinstance(current, Entity):
+            lines.append(f"{prefix}{connector}entity "
+                         f"{_entity_label(current.entity, kg)}")
+            return
+        if isinstance(current, Projection):
+            lines.append(f"{prefix}{connector}projection "
+                         f"[{_relation_label(current.relation, kg)}]")
+            walk(current.operand, prefix + ("    " if is_last or not prefix
+                                            else "│   "), True)
+            return
+        if isinstance(current, Negation):
+            lines.append(f"{prefix}{connector}negation")
+            walk(current.operand, prefix + ("    " if is_last or not prefix
+                                            else "│   "), True)
+            return
+        label = {Intersection: "intersection", Union: "union",
+                 Difference: "difference"}[type(current)]
+        lines.append(f"{prefix}{connector}{label}")
+        child_prefix = prefix + ("    " if is_last or not prefix else "│   ")
+        for index, operand in enumerate(current.operands):
+            walk(operand, child_prefix, index == len(current.operands) - 1)
+
+    walk(node, "", True)
+    return "\n".join(lines)

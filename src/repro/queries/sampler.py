@@ -1,0 +1,221 @@
+"""Grounding query structures against a knowledge graph.
+
+Following the Query2Box/BetaE protocol the paper inherits, queries are
+grounded *backwards* from a target answer entity: pick an entity that
+should be an answer, then instantiate relations and anchors walking down
+the template so that the target is reachable.  The grounded query is then
+executed exactly (``executor.execute``) and rejected when degenerate
+(empty answers, or an answer set larger than a cap — relevant for
+negation, whose complements are huge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kg.graph import KnowledgeGraph
+from .computation_graph import (Difference, Entity, Intersection, Negation,
+                                Node, Projection, Union)
+from .executor import execute
+from .structures import QueryStructure
+
+__all__ = ["GroundedQuery", "QuerySampler", "SamplerConfig"]
+
+
+@dataclass(frozen=True)
+class GroundedQuery:
+    """A fully instantiated query with its exact answer sets.
+
+    Attributes
+    ----------
+    structure:
+        Name of the originating structure template.
+    query:
+        Grounded computation graph.
+    easy_answers:
+        Answers derivable from the observed (training) graph.
+    hard_answers:
+        Answers that require the unseen edges of the evaluation graph —
+        the filtered protocol ranks exactly these.
+    """
+
+    structure: str
+    query: Node
+    easy_answers: frozenset[int]
+    hard_answers: frozenset[int]
+
+    @property
+    def all_answers(self) -> frozenset[int]:
+        return self.easy_answers | self.hard_answers
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Knobs for the rejection sampler."""
+
+    max_attempts: int = 200
+    max_answer_fraction: float = 0.5
+    require_hard_answer: bool = False
+
+
+class QuerySampler:
+    """Samples grounded queries of given structures from graph splits.
+
+    Parameters
+    ----------
+    observed:
+        The graph used to instantiate queries (training graph).
+    full:
+        The evaluation graph defining the complete answer sets (a superset
+        of ``observed``); pass the same graph twice to sample training
+        queries.
+    """
+
+    def __init__(self, observed: KnowledgeGraph, full: KnowledgeGraph | None = None,
+                 seed: int = 0, config: SamplerConfig | None = None):
+        self.observed = observed
+        self.full = full if full is not None else observed
+        if not observed.is_subgraph_of(self.full):
+            raise ValueError("observed graph must be a subgraph of the full graph")
+        self.rng = np.random.default_rng(seed)
+        self.config = config or SamplerConfig()
+        # Grounding walks the *full* graph so that evaluation queries can
+        # use unseen edges (that is what creates hard answers).
+        self._active_entities = [e for e in range(self.full.num_entities)
+                                 if self.full.degree(e) > 0]
+        if not self._active_entities:
+            raise ValueError("graph has no connected entities")
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def sample(self, structure: QueryStructure) -> GroundedQuery:
+        """Sample one non-degenerate grounded query of ``structure``."""
+        cap = max(1, int(self.config.max_answer_fraction
+                         * self.observed.num_entities))
+        for _ in range(self.config.max_attempts):
+            target = int(self.rng.choice(self._active_entities))
+            grounded = self._ground(structure.template, target)
+            if grounded is None:
+                continue
+            total = execute(grounded, self.full)
+            if not total or len(total) > cap:
+                continue
+            easy = (execute(grounded, self.observed)
+                    if self.full is not self.observed else total)
+            hard = total - easy
+            if self.config.require_hard_answer and not hard:
+                continue
+            return GroundedQuery(structure.name, grounded,
+                                 frozenset(easy), frozenset(hard))
+        raise RuntimeError(f"could not ground structure {structure.name!r} "
+                           f"after {self.config.max_attempts} attempts")
+
+    def sample_many(self, structure: QueryStructure, count: int,
+                    dedupe: bool = True) -> list[GroundedQuery]:
+        """Sample up to ``count`` queries (deduplicated by grounded tree)."""
+        out: list[GroundedQuery] = []
+        seen: set[Node] = set()
+        failures = 0
+        while len(out) < count and failures < self.config.max_attempts:
+            try:
+                grounded = self.sample(structure)
+            except RuntimeError:
+                failures += 1
+                continue
+            if dedupe and grounded.query in seen:
+                failures += 1
+                continue
+            seen.add(grounded.query)
+            out.append(grounded)
+        if not out:
+            raise RuntimeError(f"failed to sample any {structure.name!r} query")
+        return out
+
+    # ------------------------------------------------------------------
+    # backward grounding
+    # ------------------------------------------------------------------
+    def _ground(self, template: Node, target: int) -> Node | None:
+        """Instantiate ``template`` so that ``target`` is (likely) an answer.
+
+        Projection chooses an incoming relation of the target and recurses
+        on one of its sources; intersections pass the same target to every
+        operand; negation and the subtracted operands of a difference are
+        grounded against random *other* entities (their job is to exclude,
+        not include, the target).  The result is validated by exact
+        execution in :meth:`sample`, so heuristic failures here only cost
+        a retry.
+        """
+        if isinstance(template, Entity):
+            return Entity(target)
+        if isinstance(template, Projection):
+            incoming = list(self.full.in_relations(target))
+            if not incoming:
+                return None
+            relation = int(self.rng.choice(incoming))
+            sources = list(self.full.sources(target, relation))
+            source = int(self.rng.choice(sources))
+            operand = self._ground(template.operand, source)
+            if operand is None:
+                return None
+            return Projection(relation, operand)
+        if isinstance(template, Intersection):
+            operands = []
+            for op_template in template.operands:
+                operand = self._ground_branch(op_template, target)
+                if operand is None:
+                    return None
+                operands.append(operand)
+            return Intersection(tuple(operands))
+        if isinstance(template, Union):
+            # One branch must contain the target; others are free.
+            operands = []
+            hit = int(self.rng.integers(len(template.operands)))
+            for i, op_template in enumerate(template.operands):
+                branch_target = target if i == hit else self._random_entity()
+                operand = self._ground(op_template, branch_target)
+                if operand is None:
+                    return None
+                operands.append(operand)
+            return Union(tuple(operands))
+        if isinstance(template, Difference):
+            first = self._ground(template.operands[0], target)
+            if first is None:
+                return None
+            operands = [first]
+            for op_template in template.operands[1:]:
+                operand = self._ground(op_template, self._random_entity(exclude=target))
+                if operand is None:
+                    return None
+                operands.append(operand)
+            return Difference(tuple(operands))
+        if isinstance(template, Negation):
+            operand = self._ground(template.operand,
+                                   self._random_entity(exclude=target))
+            if operand is None:
+                return None
+            return Negation(operand)
+        raise TypeError(f"unknown node type: {type(template).__name__}")
+
+    def _ground_branch(self, template: Node, target: int) -> Node | None:
+        """Ground an intersection operand.
+
+        Positive operands must contain the target; negated operands must
+        *not* (they are grounded against a different entity).
+        """
+        if isinstance(template, Negation):
+            operand = self._ground(template.operand,
+                                   self._random_entity(exclude=target))
+            if operand is None:
+                return None
+            return Negation(operand)
+        return self._ground(template, target)
+
+    def _random_entity(self, exclude: int | None = None) -> int:
+        entity = int(self.rng.choice(self._active_entities))
+        if exclude is not None and entity == exclude and len(self._active_entities) > 1:
+            while entity == exclude:
+                entity = int(self.rng.choice(self._active_entities))
+        return entity

@@ -1,0 +1,133 @@
+"""The query-structure workload of the paper.
+
+Sixteen basic structures (§IV-A): twelve EPFO/difference structures taken
+from NewLook (1p 2p 3p 2i 3i ip pi 2u up 2d 3d dp) and four negation
+structures from ConE/MLPMix (2in 3in pin pni), plus the large structures
+used in §IV-D/§IV-G (2ipp 2ippu 2ippd 3ipp 3ippu 3ippd, pip, p3ip).
+
+A structure is a *template*: a computation-graph tree whose anchor entity
+ids and relation ids are slot indexes (0, 1, 2, ...).  The sampler grounds
+slots against a concrete KG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .computation_graph import (Difference, Entity, Intersection, Negation,
+                                Node, Projection, Union, anchors, query_size,
+                                relations)
+
+__all__ = [
+    "QueryStructure", "STRUCTURES", "get_structure",
+    "TRAIN_STRUCTURES", "EVAL_ONLY_STRUCTURES", "EPFO_STRUCTURES",
+    "NEGATION_STRUCTURES", "DIFFERENCE_STRUCTURES", "LARGE_STRUCTURES",
+    "QUERY_SIZE_STRUCTURES",
+]
+
+
+@dataclass(frozen=True)
+class QueryStructure:
+    """A named query template.
+
+    Attributes
+    ----------
+    name:
+        The paper's shorthand (``"2i"``, ``"pin"``, ...).
+    template:
+        Computation-graph tree with slot indexes in place of ids.
+    """
+
+    name: str
+    template: Node
+    num_anchors: int = field(init=False)
+    num_relations: int = field(init=False)
+    size: int = field(init=False)
+
+    def __post_init__(self):
+        anchor_slots = anchors(self.template)
+        relation_slots = relations(self.template)
+        if sorted(set(anchor_slots)) != list(range(len(anchor_slots))):
+            raise ValueError(f"{self.name}: anchor slots must be 0..k-1, "
+                             f"each used once; got {anchor_slots}")
+        if sorted(set(relation_slots)) != list(range(len(relation_slots))):
+            raise ValueError(f"{self.name}: relation slots must be 0..k-1, "
+                             f"each used once; got {relation_slots}")
+        object.__setattr__(self, "num_anchors", len(anchor_slots))
+        object.__setattr__(self, "num_relations", len(relation_slots))
+        object.__setattr__(self, "size", query_size(self.template))
+
+
+def _p(rel: int, operand: Node) -> Node:
+    return Projection(rel, operand)
+
+
+def _build_structures() -> dict[str, QueryStructure]:
+    e0, e1, e2 = Entity(0), Entity(1), Entity(2)
+    structures = {
+        # --- path (projection) queries -------------------------------
+        "1p": _p(0, e0),
+        "2p": _p(1, _p(0, e0)),
+        "3p": _p(2, _p(1, _p(0, e0))),
+        # --- intersections --------------------------------------------
+        "2i": Intersection((_p(0, e0), _p(1, e1))),
+        "3i": Intersection((_p(0, e0), _p(1, e1), _p(2, e2))),
+        # --- mixed (evaluated zero-shot, §IV-A) -----------------------
+        "ip": _p(2, Intersection((_p(0, e0), _p(1, e1)))),
+        "pi": Intersection((_p(1, _p(0, e0)), _p(2, e1))),
+        # --- unions ----------------------------------------------------
+        "2u": Union((_p(0, e0), _p(1, e1))),
+        "up": _p(2, Union((_p(0, e0), _p(1, e1)))),
+        # --- differences (NewLook workload) ---------------------------
+        "2d": Difference((_p(0, e0), _p(1, e1))),
+        "3d": Difference((_p(0, e0), _p(1, e1), _p(2, e2))),
+        "dp": _p(2, Difference((_p(0, e0), _p(1, e1)))),
+        # --- negations (ConE/MLPMix workload) -------------------------
+        "2in": Intersection((_p(0, e0), Negation(_p(1, e1)))),
+        "3in": Intersection((_p(0, e0), _p(1, e1), Negation(_p(2, e2)))),
+        "pin": Intersection((_p(1, _p(0, e0)), Negation(_p(2, e1)))),
+        "pni": Intersection((Negation(_p(1, _p(0, e0))), _p(2, e1))),
+        # --- large structures (§IV-D pruning, §IV-E efficiency) -------
+        "2ipp": _p(3, _p(2, Intersection((_p(0, e0), _p(1, e1))))),
+        "2ippu": Union((_p(3, _p(2, Intersection((_p(0, e0), _p(1, e1))))),
+                        _p(4, e2))),
+        "2ippd": Difference((_p(3, _p(2, Intersection((_p(0, e0), _p(1, e1))))),
+                             _p(4, e2))),
+        "3ipp": _p(4, _p(3, Intersection((_p(0, e0), _p(1, e1), _p(2, e2))))),
+        "3ippu": Union((_p(4, _p(3, Intersection((_p(0, e0), _p(1, e1),
+                                                  _p(2, e2))))),
+                        _p(5, Entity(3)))),
+        "3ippd": Difference((_p(4, _p(3, Intersection((_p(0, e0), _p(1, e1),
+                                                       _p(2, e2))))),
+                             _p(5, Entity(3)))),
+        # --- query-size scaling workload (Table VI) -------------------
+        "pip": _p(3, Intersection((_p(1, _p(0, e0)), _p(2, e1)))),
+        "p3ip": _p(4, Intersection((_p(1, _p(0, e0)), _p(2, e1), _p(3, e2)))),
+    }
+    return {name: QueryStructure(name, template)
+            for name, template in structures.items()}
+
+
+STRUCTURES: dict[str, QueryStructure] = _build_structures()
+
+#: structures used during training (paper §IV-A: complex structures
+#: ip, pi, 2u, up, dp are *only* evaluated, to test generalisation)
+TRAIN_STRUCTURES = ("1p", "2p", "3p", "2i", "3i", "2d", "3d",
+                    "2in", "3in", "pin", "pni")
+EVAL_ONLY_STRUCTURES = ("ip", "pi", "2u", "up", "dp")
+#: the 9 traditional EPFO structures of Tables I/II
+EPFO_STRUCTURES = ("1p", "2p", "3p", "2i", "3i", "ip", "pi", "2u", "up")
+DIFFERENCE_STRUCTURES = ("2d", "3d", "dp")
+NEGATION_STRUCTURES = ("2in", "3in", "pin", "pni")
+LARGE_STRUCTURES = ("2ipp", "2ippu", "2ippd", "3ipp", "3ippu", "3ippd")
+#: Table VI workload: one representative structure per query size 1..5
+QUERY_SIZE_STRUCTURES = ("1p", "2p", "pi", "pip", "p3ip")
+
+
+def get_structure(name: str) -> QueryStructure:
+    """Look up a structure by the paper's shorthand name."""
+    try:
+        return STRUCTURES[name]
+    except KeyError:
+        raise KeyError(f"unknown query structure {name!r}; "
+                       f"known: {sorted(STRUCTURES)}") from None

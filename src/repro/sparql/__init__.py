@@ -1,0 +1,14 @@
+"""``repro.sparql`` — SPARQL parser, operator Adaptor, query engine."""
+
+from .adaptor import Adaptor, UnsupportedPatternError
+from .engine import SparqlEngine, SparqlResult
+from .parser import (GroupPattern, MinusPattern, NotExistsPattern, SelectQuery,
+                     SparqlSyntaxError, TriplePattern, UnionPattern,
+                     parse_sparql)
+
+__all__ = [
+    "parse_sparql", "SparqlSyntaxError", "SelectQuery", "GroupPattern",
+    "TriplePattern", "UnionPattern", "NotExistsPattern", "MinusPattern",
+    "Adaptor", "UnsupportedPatternError",
+    "SparqlEngine", "SparqlResult",
+]

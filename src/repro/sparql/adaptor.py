@@ -1,0 +1,159 @@
+"""The query Adaptor: SPARQL graph patterns → the five logical operators.
+
+Paper §IV-F / Fig. 7(b): HaLk plugs into a query engine as the executor;
+the Adaptor maps each graph-pattern feature onto a logical operator:
+
+=====================  =====================
+SPARQL                 logical operator
+=====================  =====================
+triple pattern chain   projection  ``P``
+shared variable        intersection ``I``
+``UNION``              union ``U``
+``MINUS``              difference ``D``
+``FILTER NOT EXISTS``  negation ``N``
+=====================  =====================
+
+The adaptor orients every triple pattern toward the select variable.  A
+pattern ``?x p c`` (variable in subject position) needs an *inverse*
+traversal; it is rewritten through the ``inverse_relations`` map when one
+is available (FB15k-style graphs carry explicit inverse relations) and
+rejected with a clear error otherwise.
+"""
+
+from __future__ import annotations
+
+from ..kg.graph import KnowledgeGraph
+from ..queries.computation_graph import (Difference, Entity, Intersection,
+                                         Negation, Node, Projection, Union)
+from .parser import GroupPattern, SelectQuery, TriplePattern
+
+__all__ = ["UnsupportedPatternError", "Adaptor"]
+
+
+class UnsupportedPatternError(ValueError):
+    """Raised when a pattern falls outside the supported fragment."""
+
+
+class Adaptor:
+    """Maps parsed SPARQL onto computation graphs over a KG's vocabulary.
+
+    Parameters
+    ----------
+    kg:
+        Supplies the entity/relation name → id mappings.
+    inverse_relations:
+        Optional map ``relation id -> inverse relation id`` used to orient
+        subject-position variables.
+    """
+
+    def __init__(self, kg: KnowledgeGraph,
+                 inverse_relations: dict[int, int] | None = None):
+        self.kg = kg
+        self.entity_ids = {name: i for i, name in enumerate(kg.entity_names)}
+        self.relation_ids = {name: i for i, name in enumerate(kg.relation_names)}
+        self.inverse_relations = dict(inverse_relations or {})
+
+    # ------------------------------------------------------------------
+    def to_computation_graph(self, query: SelectQuery) -> Node:
+        """Translate a parsed SELECT query into a computation graph."""
+        node = self._resolve_variable(query.variable, query.where, frozenset())
+        return node
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def _entity_id(self, name: str) -> int:
+        try:
+            return self.entity_ids[name]
+        except KeyError:
+            raise UnsupportedPatternError(f"unknown entity {name!r}") from None
+
+    def _relation_id(self, name: str) -> int:
+        try:
+            return self.relation_ids[name]
+        except KeyError:
+            raise UnsupportedPatternError(f"unknown relation {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # pattern resolution
+    # ------------------------------------------------------------------
+    def _resolve_term(self, term: str, group: GroupPattern,
+                      visited: frozenset[str]) -> Node:
+        if term.startswith("?"):
+            return self._resolve_variable(term, group, visited)
+        return Entity(self._entity_id(term))
+
+    def _resolve_variable(self, variable: str, group: GroupPattern,
+                          visited: frozenset[str]) -> Node:
+        if variable in visited:
+            raise UnsupportedPatternError(
+                f"cyclic pattern through {variable}; only tree-shaped "
+                f"patterns are supported")
+        outer_visited = visited
+        visited = visited | {variable}
+
+        positives: list[Node] = []
+        for triple in group.triples:
+            oriented = self._orient(triple, variable, visited)
+            if oriented is None:
+                continue
+            relation_id, source_term = oriented
+            source = self._resolve_term(source_term, group, visited)
+            positives.append(Projection(relation_id, source))
+        for union in group.unions:
+            branches = [self._resolve_variable(variable, g, outer_visited)
+                        for g in union.groups
+                        if variable in g.variables()]
+            if branches:
+                positives.append(branches[0] if len(branches) == 1
+                                 else Union(tuple(branches)))
+
+        if not positives:
+            raise UnsupportedPatternError(
+                f"variable {variable} has no positive binding pattern")
+        node: Node = positives[0] if len(positives) == 1 \
+            else Intersection(tuple(positives))
+
+        negations: list[Node] = []
+        for not_exists in group.not_exists:
+            if variable in not_exists.group.variables():
+                # the same variable re-binds inside the filter group, so
+                # recursion restarts from the enclosing scope's visited set
+                negations.append(Negation(self._resolve_variable(
+                    variable, not_exists.group, outer_visited)))
+        if negations:
+            node = Intersection(tuple([node] + negations))
+
+        subtracted: list[Node] = []
+        for minus in group.minus:
+            if variable in minus.group.variables():
+                subtracted.append(self._resolve_variable(
+                    variable, minus.group, outer_visited))
+        if subtracted:
+            node = Difference(tuple([node] + subtracted))
+        return node
+
+    def _orient(self, triple: TriplePattern, variable: str,
+                visited: frozenset[str]) -> tuple[int, str] | None:
+        """Return ``(relation id, source term)`` producing ``variable``.
+
+        ``c p ?v`` keeps its direction; ``?v p c`` is flipped through the
+        inverse-relation table.  Triples whose other term is an already-
+        resolved (visited) variable were consumed higher in the tree and
+        are skipped.
+        """
+        relation_id = self._relation_id(triple.predicate)
+        if triple.object == variable and triple.subject != variable:
+            if triple.subject in visited:
+                return None
+            return relation_id, triple.subject
+        if triple.subject == variable and triple.object != variable:
+            if triple.object in visited:
+                return None
+            inverse = self.inverse_relations.get(relation_id)
+            if inverse is None:
+                raise UnsupportedPatternError(
+                    f"pattern {triple} binds {variable} in subject position "
+                    f"and relation {triple.predicate!r} has no inverse")
+            return inverse, triple.object
+        return None

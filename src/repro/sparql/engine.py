@@ -1,0 +1,81 @@
+"""End-to-end SPARQL answering with pluggable executors (paper Fig. 7).
+
+``SparqlEngine`` wires the pipeline together: parse → Adaptor →
+computation graph → executor.  Two executors mirror §IV-F/§IV-G:
+
+* the **embedding executor** (a trained :class:`QueryModel`, e.g. HaLk)
+  returns the top-k nearest entities — fast, robust to missing edges;
+* the **matching executor** (:class:`GFinder`) returns exact matches on
+  the observed graph — slower, blind to unseen facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.model import QueryModel
+from ..kg.graph import KnowledgeGraph
+from ..matching.gfinder import GFinder
+from ..queries.computation_graph import Node
+from .adaptor import Adaptor
+from .parser import SelectQuery, parse_sparql
+
+__all__ = ["SparqlResult", "SparqlEngine"]
+
+
+@dataclass
+class SparqlResult:
+    """Answer set with both ids and human-readable names."""
+
+    entity_ids: list[int]
+    entity_names: list[str]
+    computation_graph: Node
+
+    def __len__(self) -> int:
+        return len(self.entity_ids)
+
+
+class SparqlEngine:
+    """Answers SPARQL queries over a knowledge graph.
+
+    Parameters
+    ----------
+    kg:
+        The data graph (also supplies the vocabulary).
+    model:
+        Optional trained embedding model (enables :meth:`answer`).
+    inverse_relations:
+        Forwarded to the Adaptor for subject-position variables.
+    """
+
+    def __init__(self, kg: KnowledgeGraph, model: QueryModel | None = None,
+                 inverse_relations: dict[int, int] | None = None):
+        self.kg = kg
+        self.model = model
+        self.adaptor = Adaptor(kg, inverse_relations)
+        self.matcher = GFinder(kg)
+
+    # ------------------------------------------------------------------
+    def compile(self, sparql: str) -> Node:
+        """Parse and adapt a SPARQL string into a computation graph."""
+        parsed: SelectQuery = parse_sparql(sparql)
+        return self.adaptor.to_computation_graph(parsed)
+
+    def answer(self, sparql: str, top_k: int = 10) -> SparqlResult:
+        """Answer with the embedding executor (requires a model)."""
+        if self.model is None:
+            raise RuntimeError("no embedding model configured; use "
+                               "answer_exact() or pass a model")
+        graph = self.compile(sparql)
+        ids = self.model.answer(graph, top_k=top_k)
+        return self._result(ids, graph)
+
+    def answer_exact(self, sparql: str) -> SparqlResult:
+        """Answer with the subgraph-matching executor (observed graph)."""
+        graph = self.compile(sparql)
+        ids = sorted(self.matcher.execute(graph))
+        return self._result(ids, graph)
+
+    def _result(self, ids, graph: Node) -> SparqlResult:
+        names = [self.kg.entity_names[i] for i in ids]
+        return SparqlResult(list(ids), names, graph)

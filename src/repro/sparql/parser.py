@@ -1,0 +1,204 @@
+"""A minimal SPARQL parser for the query-executor demo (paper §IV-F).
+
+Supports the subset Fig. 7 exercises — basic graph patterns, ``UNION``,
+``MINUS``, and ``FILTER NOT EXISTS`` — which is exactly the surface the
+paper's Adaptor maps onto the five logical operators:
+
+.. code-block:: sparql
+
+    SELECT ?film WHERE {
+        ?director won Oscar .
+        ?director nationality USA .
+        ?film directedBy ?director .
+        FILTER NOT EXISTS { ?film genre Horror . }
+        MINUS { ?film bannedIn Ruritania . }
+    }
+
+Terms starting with ``?`` are variables; everything else is an IRI/name
+resolved against the knowledge graph's vocabulary by the Adaptor.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["TriplePattern", "GroupPattern", "UnionPattern", "NotExistsPattern",
+           "MinusPattern", "SelectQuery", "parse_sparql", "SparqlSyntaxError"]
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised for malformed SPARQL input, with token position context."""
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """``subject predicate object`` with ``?``-prefixed variables."""
+
+    subject: str
+    predicate: str
+    object: str
+
+    def variables(self) -> set[str]:
+        return {t for t in (self.subject, self.object) if t.startswith("?")}
+
+
+@dataclass
+class GroupPattern:
+    """A conjunction of patterns (the contents of one ``{ ... }``)."""
+
+    triples: list[TriplePattern] = field(default_factory=list)
+    unions: list["UnionPattern"] = field(default_factory=list)
+    not_exists: list["NotExistsPattern"] = field(default_factory=list)
+    minus: list["MinusPattern"] = field(default_factory=list)
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for triple in self.triples:
+            out |= triple.variables()
+        for union in self.unions:
+            for group in union.groups:
+                out |= group.variables()
+        return out
+
+
+@dataclass
+class UnionPattern:
+    """``{ A } UNION { B } [UNION { C } ...]``."""
+
+    groups: list[GroupPattern]
+
+
+@dataclass
+class NotExistsPattern:
+    """``FILTER NOT EXISTS { ... }``."""
+
+    group: GroupPattern
+
+
+@dataclass
+class MinusPattern:
+    """``MINUS { ... }``."""
+
+    group: GroupPattern
+
+
+@dataclass
+class SelectQuery:
+    """``SELECT ?var WHERE { ... }`` (single projection variable)."""
+
+    variable: str
+    where: GroupPattern
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<lbrace>\{) | (?P<rbrace>\}) | (?P<dot>\.(?!\w)) |
+    (?P<word>[?$\w:/#-]+)
+""", re.VERBOSE)
+_KEYWORDS = {"select", "where", "union", "minus", "filter", "not", "exists"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    for match in _TOKEN_RE.finditer(text):
+        gap = text[position:match.start()]
+        if gap.strip():
+            raise SparqlSyntaxError(f"unexpected characters: {gap.strip()!r}")
+        tokens.append(match.group(0))
+        position = match.end()
+    if text[position:].strip():
+        raise SparqlSyntaxError(
+            f"unexpected trailing characters: {text[position:].strip()!r}")
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.position] if self.position < len(self.tokens) \
+            else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SparqlSyntaxError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token.lower() != expected.lower():
+            raise SparqlSyntaxError(f"expected {expected!r}, got {token!r}")
+
+    # ------------------------------------------------------------------
+    def parse_query(self) -> SelectQuery:
+        self.expect("SELECT")
+        variable = self.next()
+        if not variable.startswith("?"):
+            raise SparqlSyntaxError(f"SELECT needs a ?variable, got {variable!r}")
+        self.expect("WHERE")
+        self.expect("{")
+        where = self.parse_group()
+        self.expect("}")
+        if self.peek() is not None:
+            raise SparqlSyntaxError(f"unexpected token after query: {self.peek()!r}")
+        return SelectQuery(variable, where)
+
+    def parse_group(self) -> GroupPattern:
+        group = GroupPattern()
+        while True:
+            token = self.peek()
+            if token is None or token == "}":
+                return group
+            lowered = token.lower()
+            if lowered == "filter":
+                self.next()
+                self.expect("NOT")
+                self.expect("EXISTS")
+                self.expect("{")
+                inner = self.parse_group()
+                self.expect("}")
+                group.not_exists.append(NotExistsPattern(inner))
+            elif lowered == "minus":
+                self.next()
+                self.expect("{")
+                inner = self.parse_group()
+                self.expect("}")
+                group.minus.append(MinusPattern(inner))
+            elif token == "{":
+                group.unions.append(self.parse_union())
+            else:
+                group.triples.append(self.parse_triple())
+
+    def parse_union(self) -> UnionPattern:
+        groups: list[GroupPattern] = []
+        self.expect("{")
+        groups.append(self.parse_group())
+        self.expect("}")
+        while self.peek() is not None and self.peek().lower() == "union":
+            self.next()
+            self.expect("{")
+            groups.append(self.parse_group())
+            self.expect("}")
+        if len(groups) < 2:
+            raise SparqlSyntaxError("a braced group must be part of a UNION")
+        return UnionPattern(groups)
+
+    def parse_triple(self) -> TriplePattern:
+        subject = self.next()
+        predicate = self.next()
+        if predicate.lower() in _KEYWORDS or predicate in "{}.":
+            raise SparqlSyntaxError(f"expected a predicate, got {predicate!r}")
+        obj = self.next()
+        if self.peek() == ".":
+            self.next()
+        return TriplePattern(subject, predicate, obj)
+
+
+def parse_sparql(text: str) -> SelectQuery:
+    """Parse a SPARQL SELECT query of the supported subset."""
+    return _Parser(_tokenize(text)).parse_query()

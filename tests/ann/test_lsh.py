@@ -1,0 +1,77 @@
+"""Tests for LSH and brute-force answer retrieval."""
+
+import numpy as np
+import pytest
+
+from repro.ann import BruteForceIndex, LshIndex
+
+
+@pytest.fixture(scope="module")
+def points() -> np.ndarray:
+    return np.random.default_rng(0).uniform(0, 2 * np.pi, size=(200, 8))
+
+
+class TestBruteForce:
+    def test_query_returns_top_k(self, points):
+        index = BruteForceIndex(points)
+        out = index.query(points[5], top_k=4)
+        assert len(out) == 4
+        assert out[0] == 5  # a stored point is its own nearest neighbour
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            BruteForceIndex(np.zeros(3))
+
+    def test_ordering_by_distance(self, points):
+        index = BruteForceIndex(points)
+        query = points[0]
+        out = index.query(query, top_k=10)
+        dists = [np.abs(np.sin((points[i] - query) / 2)).sum() for i in out]
+        assert dists == sorted(dists)
+
+
+class TestLsh:
+    def test_validation(self, points):
+        with pytest.raises(ValueError):
+            LshIndex(np.zeros(3))
+        with pytest.raises(ValueError):
+            LshIndex(points, num_tables=0)
+
+    def test_exact_point_is_candidate(self, points):
+        index = LshIndex(points, num_tables=6, bits_per_table=6, seed=1)
+        for i in (0, 50, 199):
+            assert i in index.candidates(points[i])
+
+    def test_query_finds_self(self, points):
+        index = LshIndex(points, num_tables=6, bits_per_table=6, seed=1)
+        assert index.query(points[7], top_k=1)[0] == 7
+
+    def test_fallback_guarantees_k_results(self, points):
+        # absurdly wide hash: buckets tiny, fallback must fill the gap
+        index = LshIndex(points, num_tables=1, bits_per_table=16, seed=2)
+        out = index.query(points[3], top_k=12, fallback=True)
+        assert len(out) == 12
+
+    def test_recall_reasonable(self, points):
+        index = LshIndex(points, num_tables=12, bits_per_table=4, seed=3)
+        recall = index.recall_at_k(points[:20], top_k=5)
+        assert recall > 0.5
+
+    def test_more_tables_no_worse_recall(self, points):
+        few = LshIndex(points, num_tables=2, bits_per_table=6, seed=4)
+        many = LshIndex(points, num_tables=16, bits_per_table=6, seed=4)
+        queries = points[:15]
+        assert many.recall_at_k(queries, 5) >= few.recall_at_k(queries, 5)
+
+    def test_candidates_shrink_with_more_bits(self, points):
+        coarse = LshIndex(points, num_tables=4, bits_per_table=2, seed=5)
+        fine = LshIndex(points, num_tables=4, bits_per_table=10, seed=5)
+        coarse_sizes = np.mean([len(coarse.candidates(p)) for p in points[:10]])
+        fine_sizes = np.mean([len(fine.candidates(p)) for p in points[:10]])
+        assert fine_sizes < coarse_sizes
+
+    def test_agrees_with_brute_force_under_fallback(self, points):
+        lsh = LshIndex(points, num_tables=1, bits_per_table=20, seed=6)
+        brute = BruteForceIndex(points)
+        # fallback path degrades to exact search
+        assert lsh.query(points[9], top_k=5) == brute.query(points[9], top_k=5)

@@ -1,0 +1,119 @@
+"""Tests for the HaLk-V1/V2/V3 ablations (Table V)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.baselines import (ABLATION_VARIANTS, HalkV1, HalkV2, HalkV3,
+                             LinearNegation, NewLookStyleDifference,
+                             make_halk_variant)
+from repro.core import HalkModel
+from repro.kg import KnowledgeGraph
+from repro.queries import (Difference, Entity, Intersection, Negation,
+                           Projection)
+
+CONFIG = ModelConfig(embedding_dim=8, hidden_dim=16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def kg() -> KnowledgeGraph:
+    rng = np.random.default_rng(3)
+    triples = [(int(rng.integers(12)), int(rng.integers(2)),
+                int(rng.integers(12))) for _ in range(40)]
+    return KnowledgeGraph(12, 2, triples)
+
+
+class TestFactory:
+    def test_all_variants_constructible(self, kg):
+        for name in ("HaLk", "HaLk-V1", "HaLk-V2", "HaLk-V3"):
+            model = make_halk_variant(kg, name, CONFIG)
+            assert model.name == name
+
+    def test_unknown_variant(self, kg):
+        with pytest.raises(KeyError):
+            make_halk_variant(kg, "HaLk-V9", CONFIG)
+
+    def test_registry_complete(self):
+        assert set(ABLATION_VARIANTS) == {"HaLk-V1", "HaLk-V2", "HaLk-V3"}
+
+
+class TestV1Difference:
+    def test_uses_newlook_style_operator(self, kg):
+        assert isinstance(HalkV1(kg, CONFIG).difference, NewLookStyleDifference)
+
+    def test_no_cardinality_constraint(self, kg):
+        # V1's difference output can exceed the head input's span
+        model = HalkV1(kg, CONFIG)
+        rng = np.random.default_rng(0)
+        from repro.core import Arc
+        from repro.nn import Tensor
+        tiny_head = Arc(Tensor(rng.uniform(0, 6, (3, 8))),
+                        Tensor(np.full((3, 8), 1e-4)))
+        other = Arc(Tensor(rng.uniform(0, 6, (3, 8))),
+                    Tensor(rng.uniform(0, 1, (3, 8))))
+        out = model.difference([tiny_head, other])
+        assert np.any(out.length.data > tiny_head.length.data)
+
+    def test_differs_from_full_model(self, kg):
+        full = HalkModel(kg, CONFIG)
+        v1 = HalkV1(kg, CONFIG)
+        query = Difference((Projection(0, Entity(0)), Projection(1, Entity(1))))
+        d_full = full.distance_to_all(full.embed_batch([query])).data
+        d_v1 = v1.distance_to_all(v1.embed_batch([query])).data
+        assert not np.allclose(d_full, d_v1)
+
+
+class TestV2Negation:
+    def test_uses_linear_negation(self, kg):
+        assert isinstance(HalkV2(kg, CONFIG).negation, LinearNegation)
+
+    def test_forward_equals_linear_part(self, kg):
+        model = HalkV2(kg, CONFIG)
+        child = model.embed_batch([Projection(0, Entity(0))]).branches[0]
+        out = model.negation(child)
+        linear = model.negation.linear_negation(child)
+        np.testing.assert_allclose(out.center.data, linear.center.data)
+        np.testing.assert_allclose(out.length.data, linear.length.data)
+
+    def test_projection_identical_to_full_model(self, kg):
+        # V2 only swaps negation; shared operators behave identically
+        full = HalkModel(kg, CONFIG)
+        v2 = HalkV2(kg, CONFIG)
+        query = Projection(0, Entity(0))
+        np.testing.assert_allclose(
+            full.distance_to_all(full.embed_batch([query])).data,
+            v2.distance_to_all(v2.embed_batch([query])).data)
+
+
+class TestV3Projection:
+    def test_projection_swapped(self, kg):
+        from repro.baselines import IndependentProjection
+        assert isinstance(HalkV3(kg, CONFIG).projection, IndependentProjection)
+
+    def test_differs_from_full_model_on_projection(self, kg):
+        full = HalkModel(kg, CONFIG)
+        v3 = HalkV3(kg, CONFIG)
+        query = Projection(0, Entity(0))
+        d_full = full.distance_to_all(full.embed_batch([query])).data
+        d_v3 = v3.distance_to_all(v3.embed_batch([query])).data
+        assert not np.allclose(d_full, d_v3)
+
+    def test_output_ranges_valid(self, kg):
+        model = HalkV3(kg, CONFIG)
+        query = Projection(0, Projection(1, Entity(0)))
+        arc = model.embed_batch([query]).branches[0]
+        assert np.all(arc.length.data >= 0.0)
+        assert np.all(arc.length.data <= 2 * np.pi + 1e-9)
+
+
+class TestAllVariantsEmbedEverything:
+    @pytest.mark.parametrize("variant", ["HaLk-V1", "HaLk-V2", "HaLk-V3"])
+    def test_full_operator_coverage(self, kg, variant):
+        model = make_halk_variant(kg, variant, CONFIG)
+        query = Intersection((
+            Projection(0, Difference((Projection(1, Entity(0)),
+                                      Projection(0, Entity(1))))),
+            Negation(Projection(1, Entity(2))),
+        ))
+        out = model.distance_to_all(model.embed_batch([query]))
+        assert np.all(np.isfinite(out.data))

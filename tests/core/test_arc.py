@@ -1,0 +1,101 @@
+"""Tests for arc-embedding geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core import Arc, angle_features, angular_difference, chord_length
+from repro.nn import Tensor
+
+
+class TestArc:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Arc(Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 4))))
+
+    def test_radius_validation(self):
+        t = Tensor(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            Arc(t, t, radius=0.0)
+
+    def test_start_end_definitions(self):
+        # Definitions 1 & 2: A_S = A_c - A_l/(2ρ), A_E = A_c + A_l/(2ρ)
+        arc = Arc(Tensor([[1.0]]), Tensor([[0.5]]), radius=1.0)
+        np.testing.assert_allclose(arc.start.data, [[0.75]])
+        np.testing.assert_allclose(arc.end.data, [[1.25]])
+
+    def test_start_end_scale_with_radius(self):
+        arc = Arc(Tensor([[1.0]]), Tensor([[1.0]]), radius=2.0)
+        np.testing.assert_allclose(arc.start.data, [[0.75]])
+
+    def test_angle_property(self):
+        arc = Arc(Tensor([[0.0]]), Tensor([[np.pi]]), radius=2.0)
+        np.testing.assert_allclose(arc.angle.data, [[np.pi / 2]])
+
+    def test_from_points_zero_length(self):
+        arc = Arc.from_points(Tensor([[0.3, 1.2]]))
+        np.testing.assert_allclose(arc.length.data, 0.0)
+        np.testing.assert_allclose(arc.start.data, arc.end.data)
+
+    def test_batch_size_dim(self):
+        arc = Arc(Tensor(np.zeros((5, 7))), Tensor(np.zeros((5, 7))))
+        assert arc.batch_size == 5
+        assert arc.dim == 7
+
+    def test_detach(self):
+        center = Tensor(np.zeros((1, 2)), requires_grad=True)
+        arc = Arc(center * 2.0, Tensor(np.zeros((1, 2))))
+        assert not arc.detach().center.requires_grad
+
+    def test_wrapped_center(self):
+        arc = Arc(Tensor([[7.0, -1.0]]), Tensor(np.zeros((1, 2))))
+        wrapped = arc.wrapped_center()
+        assert np.all((wrapped >= 0) & (wrapped < 2 * np.pi))
+
+
+class TestContainsAngle:
+    def test_inside_and_outside(self):
+        arc = Arc(Tensor([[1.0]]), Tensor([[1.0]]))  # spans [0.5, 1.5]
+        assert arc.contains_angle(np.array([[1.2]]))[0, 0]
+        assert not arc.contains_angle(np.array([[2.0]]))[0, 0]
+
+    def test_wraps_across_seam(self):
+        # arc centred at 0.1 with half-angle 0.3 contains 2π - 0.1
+        arc = Arc(Tensor([[0.1]]), Tensor([[0.6]]))
+        assert arc.contains_angle(np.array([[2 * np.pi - 0.1]]))[0, 0]
+
+    def test_zero_length_contains_only_center(self):
+        arc = Arc(Tensor([[1.0]]), Tensor([[0.0]]))
+        assert arc.contains_angle(np.array([[1.0]]))[0, 0]
+        assert not arc.contains_angle(np.array([[1.1]]))[0, 0]
+
+
+class TestHelpers:
+    def test_angle_features_shape(self):
+        out = angle_features(Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 8)
+
+    def test_angle_features_continuous_at_seam(self):
+        a = angle_features(Tensor([[0.0]])).data
+        b = angle_features(Tensor([[2 * np.pi - 1e-9]])).data
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_chord_length_periodicity(self):
+        a = Tensor([[0.1]])
+        b = Tensor([[0.1 + 2 * np.pi]])
+        np.testing.assert_allclose(chord_length(a, b).data, 0.0, atol=1e-12)
+
+    def test_chord_length_antipodal_is_diameter(self):
+        out = chord_length(Tensor([[0.0]]), Tensor([[np.pi]]), radius=3.0)
+        np.testing.assert_allclose(out.data, [[6.0]])
+
+    def test_angular_difference_range(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-10, 10, size=100)
+        b = rng.uniform(-10, 10, size=100)
+        diff = angular_difference(a, b)
+        assert np.all(diff > -np.pi - 1e-12)
+        assert np.all(diff <= np.pi + 1e-12)
+
+    def test_angular_difference_symmetric_magnitude(self):
+        assert angular_difference(0.2, 6.2) == pytest.approx(
+            -angular_difference(6.2, 0.2))

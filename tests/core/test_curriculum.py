@@ -1,0 +1,72 @@
+"""Tests for curriculum training."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainConfig
+from repro.core import HalkModel
+from repro.core.trainer import CurriculumPhase, train_curriculum
+from repro.kg import KnowledgeGraph
+from repro.queries import Entity, GroundedQuery, Projection, QueryWorkload
+
+
+@pytest.fixture(scope="module")
+def kg() -> KnowledgeGraph:
+    rng = np.random.default_rng(4)
+    triples = [(int(rng.integers(12)), int(rng.integers(2)),
+                int(rng.integers(12))) for _ in range(40)]
+    return KnowledgeGraph(12, 2, triples)
+
+
+@pytest.fixture
+def workload(kg) -> QueryWorkload:
+    workload = QueryWorkload()
+    for head, rel, _ in list(kg)[:10]:
+        workload.add(GroundedQuery("1p", Projection(rel, Entity(head)),
+                                   frozenset(kg.targets(head, rel)),
+                                   frozenset()))
+        two_hop = Projection(rel, Projection(rel, Entity(head)))
+        answers = kg.project(kg.targets(head, rel), rel)
+        if answers:
+            workload.add(GroundedQuery("2p", two_hop, frozenset(answers),
+                                       frozenset()))
+    return workload
+
+
+def phase(epochs=3, structures=None, lr=2e-3):
+    return CurriculumPhase(TrainConfig(epochs=epochs, batch_size=8,
+                                       num_negatives=4, learning_rate=lr),
+                           structures=structures)
+
+
+class TestCurriculum:
+    def test_requires_phases(self, kg, workload):
+        model = HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12))
+        with pytest.raises(ValueError):
+            train_curriculum(model, workload, [])
+
+    def test_history_concatenates_phases(self, kg, workload):
+        model = HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12))
+        history = train_curriculum(model, workload,
+                                   [phase(2, ("1p",)), phase(3)])
+        assert len(history.epoch_losses) == 5
+        assert history.seconds > 0
+
+    def test_structure_filter_applied(self, kg, workload):
+        model = HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12))
+        # training only on a structure that exists must succeed
+        history = train_curriculum(model, workload, [phase(2, ("1p",))])
+        assert np.isfinite(history.final_loss)
+
+    def test_unknown_structure_rejected(self, kg, workload):
+        model = HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12))
+        with pytest.raises(ValueError, match="no workload structures"):
+            train_curriculum(model, workload, [phase(2, ("42p",))])
+
+    def test_loss_decreases_over_curriculum(self, kg, workload):
+        model = HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12,
+                                          seed=0))
+        history = train_curriculum(model, workload,
+                                   [phase(10, ("1p",), lr=5e-3),
+                                    phase(10, None, lr=2e-3)])
+        assert history.epoch_losses[-1] < history.epoch_losses[0]

@@ -1,0 +1,125 @@
+"""Tests for the entity-to-arc distance (Eq. 15/16)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Arc, distance_to_points, entity_to_arc_distance
+from repro.nn import Tensor
+
+TWO_PI = 2 * np.pi
+
+
+def make_arc(center, length) -> Arc:
+    return Arc(Tensor(np.atleast_2d(center)), Tensor(np.atleast_2d(length)))
+
+
+def dist(arc: Arc, angles, eta=0.02) -> np.ndarray:
+    points = Tensor(np.asarray(angles, dtype=float).reshape(1, -1, arc.dim))
+    return entity_to_arc_distance(points, arc, eta).data
+
+
+class TestOutsideDistance:
+    def test_zero_at_endpoints(self):
+        arc = make_arc([1.0], [1.0])  # spans [0.5, 1.5]
+        np.testing.assert_allclose(dist(arc, [[0.5]], eta=0.0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(dist(arc, [[1.5]], eta=0.0), 0.0, atol=1e-12)
+
+    def test_bounded_by_half_arc_chord_inside(self):
+        arc = make_arc([1.0], [1.0])
+        cap = 2 * np.abs(np.sin(arc.half_angle.data / 2))[0, 0]
+        assert dist(arc, [[1.0]], eta=0.0)[0, 0] <= cap + 1e-12
+
+    def test_positive_outside(self):
+        arc = make_arc([1.0], [1.0])
+        assert dist(arc, [[3.0]], eta=0.0)[0, 0] > 0
+
+    def test_monotone_in_angular_gap(self):
+        arc = make_arc([1.0], [0.5])
+        d_near = dist(arc, [[1.5]], eta=0.0)[0, 0]
+        d_far = dist(arc, [[2.5]], eta=0.0)[0, 0]
+        assert d_near < d_far
+
+    def test_periodic_across_seam(self):
+        # arc near 0; entity just below 2π should be close, not far
+        arc = make_arc([0.1], [0.2])
+        d_seam = dist(arc, [[TWO_PI - 0.05]], eta=0.0)[0, 0]
+        d_far = dist(arc, [[np.pi]], eta=0.0)[0, 0]
+        assert d_seam < d_far
+
+    def test_chord_value_for_point_arc(self):
+        # zero-length arc at angle 0, entity at π: chord = 2ρ
+        arc = make_arc([0.0], [0.0])
+        np.testing.assert_allclose(dist(arc, [[np.pi]], eta=0.0),
+                                   [[2.0]], atol=1e-12)
+
+
+class TestInsideDistance:
+    def test_inside_part_prefers_center(self):
+        # the η-weighted inside component alone is smallest at the centre
+        arc = make_arc([1.0], [2.0])
+        in_center = (dist(arc, [[1.0]], eta=1.0) - dist(arc, [[1.0]], eta=0.0))
+        in_edge = (dist(arc, [[1.8]], eta=1.0) - dist(arc, [[1.8]], eta=0.0))
+        assert in_center[0, 0] < in_edge[0, 0]
+
+    def test_inside_distance_capped_by_half_arc(self):
+        arc = make_arc([1.0], [1.0])
+        cap = 2 * np.abs(np.sin(arc.half_angle.data / 2))[0, 0]
+        d_far = dist(arc, [[np.pi + 1.0]], eta=1.0)[0, 0]
+        d_out = dist(arc, [[np.pi + 1.0]], eta=0.0)[0, 0]
+        assert d_far - d_out <= cap + 1e-9
+
+    def test_eta_scales_inside_part(self):
+        arc = make_arc([1.0], [2.0])
+        d0 = dist(arc, [[1.5]], eta=0.0)[0, 0]
+        d1 = dist(arc, [[1.5]], eta=0.1)[0, 0]
+        d2 = dist(arc, [[1.5]], eta=0.2)[0, 0]
+        np.testing.assert_allclose(d2 - d0, 2 * (d1 - d0))
+
+    def test_inside_negative_has_shrinking_gradient(self):
+        # Eq. 16 as printed: an entity strictly inside the arc still has a
+        # non-zero outside distance (chord to the nearest endpoint), so
+        # pushing a negative away moves the endpoint past it — this is the
+        # gradient that contracts bloated arcs during training.
+        center = Tensor(np.array([[1.0]]), requires_grad=True)
+        length = Tensor(np.array([[2.0]]), requires_grad=True)
+        arc = Arc(center, length)
+        inside_point = Tensor(np.array([[[1.5]]]))
+        entity_to_arc_distance(inside_point, arc, eta=0.0).sum().backward()
+        assert np.any(length.grad != 0)
+
+
+class TestShapes:
+    def test_all_entity_ranking_shape(self):
+        arc = Arc(Tensor(np.zeros((3, 4))), Tensor(np.ones((3, 4))))
+        points = Tensor(np.random.default_rng(0).uniform(0, TWO_PI, (10, 4)))
+        out = distance_to_points(arc, points, eta=0.02)
+        assert out.shape == (3, 10)
+
+    def test_per_query_candidates_shape(self):
+        arc = Arc(Tensor(np.zeros((3, 4))), Tensor(np.ones((3, 4))))
+        points = Tensor(np.random.default_rng(0).uniform(0, TWO_PI, (3, 5, 4)))
+        out = distance_to_points(arc, points, eta=0.02)
+        assert out.shape == (3, 5)
+
+    def test_rejects_bad_ndim(self):
+        arc = Arc(Tensor(np.zeros((3, 4))), Tensor(np.ones((3, 4))))
+        with pytest.raises(ValueError):
+            distance_to_points(arc, Tensor(np.zeros(4)), eta=0.02)
+
+
+class TestGradients:
+    def test_gradient_flows_to_arc(self):
+        center = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        length = Tensor(np.array([[0.5, 0.5]]), requires_grad=True)
+        arc = Arc(center, length)
+        points = Tensor(np.array([[[2.5, 0.5]]]))
+        entity_to_arc_distance(points, arc, eta=0.1).sum().backward()
+        assert center.grad is not None
+        assert np.any(center.grad != 0)
+
+    def test_gradient_flows_to_points(self):
+        arc = Arc(Tensor(np.array([[1.0]])), Tensor(np.array([[0.2]])))
+        points = Tensor(np.array([[[2.5]]]), requires_grad=True)
+        entity_to_arc_distance(points, arc, eta=0.1).sum().backward()
+        assert points.grad is not None
+        assert np.any(points.grad != 0)

@@ -1,0 +1,125 @@
+"""Tests for the filtered MRR/Hits@K protocol and set accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.core import (StructureMetrics, answer_set_from_ranking,
+                        rank_hard_answers, set_accuracy)
+from repro.core.evaluation import evaluate
+from repro.queries import Entity, GroundedQuery, Projection, QueryWorkload
+
+
+def make_query(easy, hard):
+    return GroundedQuery("1p", Projection(0, Entity(0)),
+                         frozenset(easy), frozenset(hard))
+
+
+class TestRankHardAnswers:
+    def test_perfect_ranking(self):
+        # entity 3 is the hard answer with the smallest distance
+        distances = np.array([5.0, 4.0, 3.0, 0.5, 2.0])
+        ranks = rank_hard_answers(distances, make_query([], [3]))
+        assert ranks == [1]
+
+    def test_filters_other_answers(self):
+        # easy answer 1 scores better than hard answer 3 but must be
+        # filtered from the ranking
+        distances = np.array([5.0, 0.1, 3.0, 0.5, 2.0])
+        ranks = rank_hard_answers(distances, make_query([1], [3]))
+        assert ranks == [1]
+
+    def test_counts_better_non_answers(self):
+        distances = np.array([0.1, 0.2, 3.0, 0.5, 2.0])
+        ranks = rank_hard_answers(distances, make_query([], [3]))
+        assert ranks == [3]  # entities 0 and 1 score better
+
+    def test_tie_handling_is_mid_rank(self):
+        # constant distances: rank should be about half the candidates,
+        # not 1 (guards against degenerate constant scorers)
+        distances = np.zeros(101)
+        ranks = rank_hard_answers(distances, make_query([], [0]))
+        assert ranks == [51]
+
+    def test_multiple_hard_answers(self):
+        distances = np.array([0.1, 0.2, 0.3, 0.4])
+        ranks = rank_hard_answers(distances, make_query([], [0, 3]))
+        assert ranks == [1, 3]  # 3 is beaten by non-answers 1 and 2
+
+    def test_falls_back_to_easy_when_no_hard(self):
+        distances = np.array([0.1, 0.9, 0.5])
+        ranks = rank_hard_answers(distances, make_query([0], []))
+        assert ranks == [1]
+
+
+class _FakeModel:
+    """Scores entities by a fixed per-query distance matrix."""
+
+    def __init__(self, matrix):
+        self.matrix = np.asarray(matrix, dtype=float)
+
+    def rank_all_entities(self, queries, batch_size=64):
+        return self.matrix[:len(queries)]
+
+
+class TestEvaluate:
+    def test_metrics_for_perfect_model(self):
+        workload = QueryWorkload()
+        workload.add(make_query([], [0]))
+        model = _FakeModel([[0.0, 1.0, 2.0, 3.0]])
+        result = evaluate(model, workload)
+        assert result["1p"].mrr == pytest.approx(1.0)
+        assert result["1p"].hits[1] == pytest.approx(1.0)
+        assert result["1p"].num_queries == 1
+
+    def test_metrics_for_worst_model(self):
+        workload = QueryWorkload()
+        workload.add(make_query([], [3]))
+        model = _FakeModel([[0.0, 1.0, 2.0, 3.0]])
+        result = evaluate(model, workload)
+        assert result["1p"].mrr == pytest.approx(1.0 / 4.0)
+        assert result["1p"].hits[1] == 0.0
+
+    def test_hits_k_monotone_in_k(self):
+        workload = QueryWorkload()
+        workload.add(make_query([], [2]))
+        model = _FakeModel([[0.0, 1.0, 2.0, 3.0]])
+        result = evaluate(model, workload, ks=(1, 3, 10))
+        hits = result["1p"].hits
+        assert hits[1] <= hits[3] <= hits[10]
+
+    def test_as_row_format(self):
+        metrics = StructureMetrics(mrr=0.5, hits={1: 0.2, 3: 0.4}, num_queries=7)
+        row = metrics.as_row(ks=(1, 3))
+        assert row == {"mrr": 0.5, "hits@1": 0.2, "hits@3": 0.4}
+
+
+class TestSetAccuracy:
+    def test_perfect_overlap(self):
+        assert set_accuracy({1, 2, 3}, {1, 2, 3}) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert set_accuracy({1}, {2}) == 0.0
+
+    def test_partial_f1(self):
+        # precision 1/2, recall 1/3 -> F1 = 0.4
+        assert set_accuracy({1, 9}, {1, 2, 3}) == pytest.approx(0.4)
+
+    def test_both_empty_is_perfect(self):
+        assert set_accuracy(set(), set()) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert set_accuracy(set(), {1}) == 0.0
+        assert set_accuracy({1}, set()) == 0.0
+
+
+class TestAnswerSetFromRanking:
+    def test_selects_best(self):
+        distances = np.array([3.0, 0.1, 2.0, 0.2])
+        assert answer_set_from_ranking(distances, 2) == {1, 3}
+
+    def test_zero_size(self):
+        assert answer_set_from_ranking(np.array([1.0]), 0) == set()
+
+    def test_size_larger_than_population(self):
+        out = answer_set_from_ranking(np.array([1.0, 2.0]), 10)
+        assert out == {0, 1}

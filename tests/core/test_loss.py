@@ -1,0 +1,88 @@
+"""Tests for the Eq. 17 loss and the group penalty."""
+
+import numpy as np
+import pytest
+
+from repro.core import group_penalty, halk_loss
+from repro.nn import Tensor
+
+
+class TestGroupPenalty:
+    def test_zero_when_entity_inside_signature(self):
+        entity = np.array([[0.0, 1.0, 0.0]])
+        query = np.array([[1.0, 1.0, 0.0]])
+        np.testing.assert_allclose(group_penalty(entity, query), [0.0])
+
+    def test_positive_when_entity_outside(self):
+        entity = np.array([[0.0, 0.0, 1.0]])
+        query = np.array([[1.0, 1.0, 0.0]])
+        np.testing.assert_allclose(group_penalty(entity, query), [1.0])
+
+    def test_broadcasts_over_negatives(self):
+        entities = np.zeros((2, 4, 3))
+        entities[:, :, 2] = 1.0
+        query = np.array([[1.0, 1.0, 0.0]])[:, None, :]
+        out = group_penalty(entities, query)
+        assert out.shape == (2, 4)
+        np.testing.assert_allclose(out, 1.0)
+
+
+class TestHalkLoss:
+    def test_perfect_separation_gives_small_loss(self):
+        pos = Tensor(np.zeros(4))
+        neg = Tensor(np.full((4, 8), 100.0))
+        loss = halk_loss(pos, neg, gamma=9.0)
+        assert float(loss.data) < 1e-3
+
+    def test_inverted_separation_gives_large_loss(self):
+        pos = Tensor(np.full(4, 100.0))
+        neg = Tensor(np.zeros((4, 8)))
+        loss = halk_loss(pos, neg, gamma=9.0)
+        assert float(loss.data) > 10
+
+    def test_loss_decreases_with_margin_satisfaction(self):
+        neg = Tensor(np.full((4, 8), 12.0))
+        tight = halk_loss(Tensor(np.full(4, 8.0)), neg, gamma=9.0)
+        loose = halk_loss(Tensor(np.full(4, 1.0)), neg, gamma=9.0)
+        assert float(loose.data) < float(tight.data)
+
+    def test_group_penalty_increases_positive_pressure(self):
+        pos = Tensor(np.full(4, 5.0))
+        neg = Tensor(np.full((4, 8), 20.0))
+        base = halk_loss(pos, neg, gamma=9.0, xi=0.0)
+        pen = halk_loss(pos, neg, gamma=9.0, xi=2.0,
+                        positive_penalty=np.ones(4),
+                        negative_penalty=np.zeros((4, 8)))
+        assert float(pen.data) > float(base.data)
+
+    def test_gradients_flow(self):
+        pos = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        neg = Tensor(np.full((2, 4), 6.0), requires_grad=True)
+        halk_loss(pos, neg, gamma=9.0).backward()
+        assert pos.grad is not None
+        assert neg.grad is not None
+        # positives should be pushed down (positive gradient), negatives up
+        assert np.all(pos.grad > 0)
+        assert np.all(neg.grad < 0)
+
+    def test_adversarial_weighting_prefers_hard_negatives(self):
+        pos = Tensor(np.zeros(1))
+        # one hard negative (close) and three easy ones (far)
+        neg_data = np.array([[1.0, 50.0, 50.0, 50.0]])
+        neg = Tensor(neg_data, requires_grad=True)
+        halk_loss(pos, neg, gamma=9.0, adversarial_temperature=1.0).backward()
+        hard_grad = abs(neg.grad[0, 0])
+        easy_grad = abs(neg.grad[0, 1])
+        assert hard_grad > easy_grad
+
+    def test_uniform_weighting_when_temperature_zero(self):
+        pos = Tensor(np.zeros(1))
+        neg = Tensor(np.array([[5.0, 5.0]]), requires_grad=True)
+        halk_loss(pos, neg, gamma=9.0, adversarial_temperature=0.0).backward()
+        np.testing.assert_allclose(neg.grad[0, 0], neg.grad[0, 1])
+
+    def test_numerically_stable_for_extreme_distances(self):
+        pos = Tensor(np.array([1e6]))
+        neg = Tensor(np.array([[1e6]]))
+        loss = halk_loss(pos, neg, gamma=9.0)
+        assert np.isfinite(loss.data)

@@ -1,0 +1,143 @@
+"""Tests for the HaLk model: embedding recursion, DNF handling, signatures."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import HalkModel
+from repro.kg import KnowledgeGraph
+from repro.nn import no_grad
+from repro.queries import (Difference, Entity, Intersection, Negation,
+                           Projection, Union)
+
+
+@pytest.fixture(scope="module")
+def kg() -> KnowledgeGraph:
+    rng = np.random.default_rng(0)
+    triples = [(int(rng.integers(20)), int(rng.integers(3)),
+                int(rng.integers(20))) for _ in range(60)]
+    return KnowledgeGraph(20, 3, triples)
+
+
+@pytest.fixture(scope="module")
+def model(kg) -> HalkModel:
+    return HalkModel(kg, ModelConfig(embedding_dim=8, hidden_dim=16, seed=0))
+
+
+class TestEmbedBatch:
+    def test_rejects_empty_batch(self, model):
+        with pytest.raises(ValueError):
+            model.embed_batch([])
+
+    def test_single_branch_for_conjunctive_query(self, model):
+        emb = model.embed_batch([Projection(0, Entity(1))])
+        assert len(emb.branches) == 1
+        assert emb.branches[0].batch_size == 1
+
+    def test_union_query_produces_branches(self, model):
+        query = Union((Projection(0, Entity(1)), Projection(1, Entity(2))))
+        emb = model.embed_batch([query])
+        assert len(emb.branches) == 2
+
+    def test_batch_of_same_structure(self, model):
+        queries = [Projection(0, Entity(i)) for i in range(5)]
+        emb = model.embed_batch(queries)
+        assert emb.branches[0].batch_size == 5
+
+    def test_all_operator_types_embed(self, model):
+        query = Intersection((
+            Projection(0, Difference((Projection(1, Entity(0)),
+                                      Projection(2, Entity(1))))),
+            Negation(Projection(0, Entity(2))),
+        ))
+        emb = model.embed_batch([query])
+        assert len(emb.branches) == 1
+        assert np.all(np.isfinite(emb.branches[0].center.data))
+
+    def test_arc_lengths_bounded(self, model):
+        query = Negation(Projection(0, Entity(0)))
+        emb = model.embed_batch([query])
+        lengths = emb.branches[0].length.data
+        assert np.all(lengths >= 0.0)
+        assert np.all(lengths <= 2 * np.pi * model.config.radius + 1e-9)
+
+
+class TestSignatures:
+    def test_entity_signature_is_one_hot(self, model):
+        emb = model.embed_batch([Projection(0, Entity(3))])
+        sig = model.query_signature(emb)
+        assert sig.shape == (1, model.groups.num_groups)
+        assert set(np.unique(sig)) <= {0.0, 1.0}
+
+    def test_negation_signature_is_full(self, model):
+        emb = model.embed_batch([Negation(Projection(0, Entity(0)))])
+        np.testing.assert_allclose(model.query_signature(emb), 1.0)
+
+    def test_union_signature_is_or_of_branches(self, model):
+        q_union = Union((Projection(0, Entity(1)), Projection(1, Entity(2))))
+        sig_union = model.query_signature(model.embed_batch([q_union]))
+        sig_a = model.query_signature(model.embed_batch(
+            [Projection(0, Entity(1))]))
+        sig_b = model.query_signature(model.embed_batch(
+            [Projection(1, Entity(2))]))
+        np.testing.assert_allclose(sig_union, np.maximum(sig_a, sig_b))
+
+    def test_projection_signature_sound_for_facts(self, kg, model):
+        # for every triple, the projected anchor signature must cover the
+        # tail's group
+        for head, rel, tail in list(kg)[:20]:
+            emb = model.embed_batch([Projection(rel, Entity(head))])
+            sig = model.query_signature(emb)[0]
+            assert sig[model.groups.entity_group[tail]] == 1.0
+
+
+class TestDistances:
+    def test_distance_to_all_shape(self, model, kg):
+        emb = model.embed_batch([Projection(0, Entity(0)),
+                                 Projection(1, Entity(1))])
+        out = model.distance_to_all(emb)
+        assert out.shape == (2, kg.num_entities)
+        assert np.all(out.data >= 0.0)
+
+    def test_distance_to_entities_shape(self, model):
+        emb = model.embed_batch([Projection(0, Entity(0))])
+        out = model.distance_to_entities(emb, np.array([[1, 2, 3]]))
+        assert out.shape == (1, 3)
+
+    def test_distance_to_entities_requires_2d(self, model):
+        emb = model.embed_batch([Projection(0, Entity(0))])
+        with pytest.raises(ValueError):
+            model.distance_to_entities(emb, np.array([1, 2, 3]))
+
+    def test_union_distance_is_min_over_branches(self, model):
+        a = Projection(0, Entity(1))
+        b = Projection(1, Entity(2))
+        d_union = model.distance_to_all(model.embed_batch([Union((a, b))])).data
+        d_a = model.distance_to_all(model.embed_batch([a])).data
+        d_b = model.distance_to_all(model.embed_batch([b])).data
+        np.testing.assert_allclose(d_union, np.minimum(d_a, d_b), atol=1e-9)
+
+    def test_rank_all_entities_no_grad(self, model, kg):
+        out = model.rank_all_entities([Projection(0, Entity(0))])
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (1, kg.num_entities)
+
+    def test_answer_returns_top_k(self, model):
+        answers = model.answer(Projection(0, Entity(0)), top_k=5)
+        assert len(answers) == 5
+        assert len(set(answers)) == 5
+
+
+class TestParameters:
+    def test_deterministic_construction(self, kg):
+        config = ModelConfig(embedding_dim=8, hidden_dim=16, seed=7)
+        a = HalkModel(kg, config)
+        b = HalkModel(kg, config)
+        np.testing.assert_allclose(a.entity_points.weight.data,
+                                   b.entity_points.weight.data)
+
+    def test_all_operators_registered(self, model):
+        names = {name.split(".")[0] for name, _ in model.named_parameters()}
+        assert {"entity_points", "relation_center", "relation_length",
+                "projection", "intersection", "difference",
+                "negation"} <= names

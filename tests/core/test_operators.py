@@ -1,0 +1,237 @@
+"""Tests for the five logical-operator networks."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import (Arc, DifferenceOperator, IntersectionOperator,
+                        NegationOperator, ProjectionOperator,
+                        semantic_average_center, squash_angle)
+from repro.nn import F, Tensor
+
+CONFIG = ModelConfig(embedding_dim=6, hidden_dim=12, seed=0)
+TWO_PI = 2 * np.pi
+
+
+def random_arc(batch: int = 4, dim: int = 6, seed: int = 0,
+               max_angle: float = 1.0) -> Arc:
+    rng = np.random.default_rng(seed)
+    center = Tensor(rng.uniform(0, TWO_PI, size=(batch, dim)))
+    length = Tensor(rng.uniform(0, max_angle, size=(batch, dim)))
+    return Arc(center, length)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSquash:
+    def test_range_is_open_two_pi(self):
+        out = squash_angle(Tensor(np.linspace(-3, 3, 50)))
+        assert np.all(out.data > 0.0)
+        assert np.all(out.data < TWO_PI)
+
+    def test_saturates_within_closed_range(self):
+        out = squash_angle(Tensor(np.array([-1e6, 1e6])))
+        assert np.all(out.data >= 0.0)
+        assert np.all(out.data <= TWO_PI)
+
+    def test_zero_maps_to_pi(self):
+        np.testing.assert_allclose(squash_angle(Tensor([0.0])).data, [np.pi])
+
+
+class TestSemanticAverageCenter:
+    def test_equal_weights_average_nearby_angles(self):
+        a = Arc(Tensor([[0.2]]), Tensor([[0.0]]))
+        b = Arc(Tensor([[0.4]]), Tensor([[0.0]]))
+        half = Tensor([[0.5]])
+        out = semantic_average_center([a, b], [half, half])
+        np.testing.assert_allclose(out.data, [[0.3]], atol=1e-9)
+
+    def test_periodicity_across_seam(self):
+        # 0.1 and 2π-0.1 should average to ~0, not π.
+        a = Arc(Tensor([[0.1]]), Tensor([[0.0]]))
+        b = Arc(Tensor([[TWO_PI - 0.1]]), Tensor([[0.0]]))
+        half = Tensor([[0.5]])
+        out = semantic_average_center([a, b], [half, half])
+        assert min(out.data[0, 0], TWO_PI - out.data[0, 0]) < 1e-6
+
+    def test_weights_shift_center(self):
+        a = Arc(Tensor([[0.0]]), Tensor([[0.0]]))
+        b = Arc(Tensor([[1.0]]), Tensor([[0.0]]))
+        heavy_a = semantic_average_center(
+            [a, b], [Tensor([[0.9]]), Tensor([[0.1]])])
+        heavy_b = semantic_average_center(
+            [a, b], [Tensor([[0.1]]), Tensor([[0.9]])])
+        assert heavy_a.data[0, 0] < heavy_b.data[0, 0]
+
+    def test_output_in_range(self):
+        arcs = [random_arc(seed=i) for i in range(3)]
+        w = Tensor(np.full((4, 6), 1 / 3))
+        out = semantic_average_center(arcs, [w, w, w])
+        assert np.all(out.data >= 0.0)
+        assert np.all(out.data < TWO_PI)
+
+
+class TestProjection:
+    def test_output_shapes_and_ranges(self, rng):
+        op = ProjectionOperator(CONFIG, rng)
+        head = random_arc()
+        rel = random_arc(seed=1)
+        out = op(head, rel)
+        assert out.center.shape == (4, 6)
+        assert np.all(out.length.data >= 0.0)
+        assert np.all(out.length.data <= TWO_PI + 1e-9)
+
+    def test_rotation_initialisation_dominates_at_init(self, rng):
+        # With zero-init output layers the MLP correction is exactly the
+        # bias, so a fresh operator stays close to the pure rotation.
+        op = ProjectionOperator(CONFIG, rng)
+        for mlp in (op.center_mlp, op.length_mlp):
+            mlp.output.weight.data[...] = 0.0
+            mlp.output.bias.data[...] = 0.0
+        head = random_arc()
+        rel = random_arc(seed=1)
+        out = op(head, rel)
+        expected = np.mod(head.center.data + rel.center.data, TWO_PI)
+        np.testing.assert_allclose(np.mod(out.center.data, TWO_PI), expected,
+                                   atol=1e-9)
+
+    def test_gradients_flow_to_inputs(self, rng):
+        op = ProjectionOperator(CONFIG, rng)
+        center = Tensor(np.random.default_rng(2).uniform(0, 6, (4, 6)),
+                        requires_grad=True)
+        head = Arc(center, Tensor(np.zeros((4, 6))))
+        out = op(head, random_arc(seed=1))
+        (out.center.sum() + out.length.sum()).backward()
+        assert center.grad is not None
+        assert np.any(center.grad != 0)
+
+
+class TestDifference:
+    def test_requires_two_inputs(self, rng):
+        op = DifferenceOperator(CONFIG, rng)
+        with pytest.raises(ValueError):
+            op([random_arc()])
+
+    def test_result_is_subset_of_head(self, rng):
+        # Cardinality constraint: |result| <= |first input| per dimension.
+        op = DifferenceOperator(CONFIG, rng)
+        arcs = [random_arc(seed=i, max_angle=2.0) for i in range(3)]
+        out = op(arcs)
+        assert np.all(out.length.data <= arcs[0].length.data + 1e-9)
+
+    def test_asymmetric_in_first_input(self, rng):
+        op = DifferenceOperator(CONFIG, rng)
+        a, b = random_arc(seed=1), random_arc(seed=2)
+        out_ab = op([a, b])
+        out_ba = op([b, a])
+        assert not np.allclose(out_ab.center.data, out_ba.center.data)
+
+    def test_permutation_invariant_over_rest(self, rng):
+        op = DifferenceOperator(CONFIG, rng)
+        a, b, c = (random_arc(seed=i) for i in range(3))
+        out_abc = op([a, b, c])
+        out_acb = op([a, c, b])
+        np.testing.assert_allclose(out_abc.center.data, out_acb.center.data,
+                                   atol=1e-9)
+        np.testing.assert_allclose(out_abc.length.data, out_acb.length.data,
+                                   atol=1e-9)
+
+    def test_gradients_reach_parameters(self, rng):
+        op = DifferenceOperator(CONFIG, rng)
+        out = op([random_arc(seed=1), random_arc(seed=2)])
+        (out.center.sum() + out.length.sum()).backward()
+        grads = [p.grad is not None for p in op.parameters()]
+        assert any(grads)
+
+
+class TestIntersection:
+    def test_requires_two_inputs(self, rng):
+        op = IntersectionOperator(CONFIG, rng)
+        with pytest.raises(ValueError):
+            op([random_arc()])
+
+    def test_cardinality_constraint(self, rng):
+        # |result| <= min |input| per dimension (Eq. 11).
+        op = IntersectionOperator(CONFIG, rng)
+        arcs = [random_arc(seed=i, max_angle=2.0) for i in range(3)]
+        out = op(arcs)
+        min_len = np.minimum.reduce([a.length.data for a in arcs])
+        assert np.all(out.length.data <= min_len + 1e-9)
+
+    def test_permutation_invariance_with_uniform_groups(self, rng):
+        op = IntersectionOperator(CONFIG, rng)
+        a, b = random_arc(seed=1), random_arc(seed=2)
+        out_ab = op([a, b])
+        out_ba = op([b, a])
+        np.testing.assert_allclose(out_ab.center.data, out_ba.center.data,
+                                   atol=1e-9)
+        np.testing.assert_allclose(out_ab.length.data, out_ba.length.data,
+                                   atol=1e-9)
+
+    def test_group_similarities_modulate_attention(self, rng):
+        op = IntersectionOperator(CONFIG, rng)
+        a, b = random_arc(seed=1), random_arc(seed=2)
+        even = np.array([[1.0] * 4, [1.0] * 4])
+        skewed = np.array([[5.0] * 4, [0.2] * 4])
+        out_even = op([a, b], even)
+        out_skew = op([a, b], skewed)
+        assert not np.allclose(out_even.center.data, out_skew.center.data)
+
+
+class TestNegation:
+    def test_linear_negation_is_antipodal_complement(self, rng):
+        op = NegationOperator(CONFIG, rng)
+        arc = random_arc()
+        out = op.linear_negation(arc)
+        # centres antipodal (included angle π, §III-E)
+        delta = np.mod(out.center.data - arc.center.data, TWO_PI)
+        np.testing.assert_allclose(delta, np.pi)
+        # arc + complement tile the circle
+        np.testing.assert_allclose(out.length.data + arc.length.data, TWO_PI)
+
+    def test_linear_negation_involution(self, rng):
+        op = NegationOperator(CONFIG, rng)
+        arc = random_arc()
+        twice = op.linear_negation(op.linear_negation(arc))
+        np.testing.assert_allclose(np.mod(twice.center.data, TWO_PI),
+                                   np.mod(arc.center.data, TWO_PI), atol=1e-9)
+        np.testing.assert_allclose(twice.length.data, arc.length.data)
+
+    def test_forward_shapes_and_ranges(self, rng):
+        op = NegationOperator(CONFIG, rng)
+        out = op(random_arc())
+        assert out.center.shape == (4, 6)
+        assert np.all(out.length.data >= 0.0)
+        assert np.all(out.length.data <= TWO_PI + 1e-9)
+
+    def test_correction_starts_at_identity(self, rng):
+        # zero-initialised correction branch: a fresh operator is exactly
+        # the linear negation (see zero_init_output)
+        op = NegationOperator(CONFIG, rng)
+        arc = random_arc()
+        nonlinear = op(arc)
+        linear = op.linear_negation(arc)
+        np.testing.assert_allclose(nonlinear.center.data,
+                                   np.mod(linear.center.data, TWO_PI),
+                                   atol=1e-12)
+
+    def test_nonlinear_differs_from_linear_once_trained(self, rng):
+        op = NegationOperator(CONFIG, rng)
+        # simulate training having moved the correction away from zero
+        op.center_mlp.output.weight.data[...] = 0.5
+        arc = random_arc()
+        nonlinear = op(arc)
+        linear = op.linear_negation(arc)
+        assert not np.allclose(nonlinear.center.data,
+                               np.mod(linear.center.data, TWO_PI))
+
+    def test_gradients_flow(self, rng):
+        op = NegationOperator(CONFIG, rng)
+        center = Tensor(np.ones((2, 6)), requires_grad=True)
+        arc = Arc(center, Tensor(np.full((2, 6), 0.5)))
+        out = op(arc)
+        (out.center.sum() + out.length.sum()).backward()
+        assert center.grad is not None

@@ -1,0 +1,80 @@
+"""Tests for the embedding/network parameter split used by the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainConfig
+from repro.core import HalkModel, Trainer
+from repro.baselines import ConEModel, MLPMixModel, NewLookModel
+from repro.kg import KnowledgeGraph
+from repro.queries import Entity, GroundedQuery, Projection, QueryWorkload
+
+CONFIG = ModelConfig(embedding_dim=6, hidden_dim=12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def kg() -> KnowledgeGraph:
+    return KnowledgeGraph(8, 2, [(0, 0, 1), (1, 1, 2), (3, 0, 4), (5, 1, 6)])
+
+
+@pytest.mark.parametrize("model_cls", [HalkModel, ConEModel, NewLookModel,
+                                       MLPMixModel])
+class TestParameterSplit:
+    def test_partition_is_complete_and_disjoint(self, kg, model_cls):
+        model = model_cls(kg, CONFIG)
+        embedding = {id(p) for p in model.embedding_parameters()}
+        network = {id(p) for p in model.network_parameters()}
+        everything = {id(p) for p in model.parameters()}
+        assert embedding | network == everything
+        assert not embedding & network
+
+    def test_embedding_tables_identified(self, kg, model_cls):
+        model = model_cls(kg, CONFIG)
+        embedding = list(model.embedding_parameters())
+        # entity table is always among them
+        assert any(p.shape[0] == kg.num_entities for p in embedding)
+
+    def test_network_side_nonempty(self, kg, model_cls):
+        model = model_cls(kg, CONFIG)
+        assert list(model.network_parameters())
+
+
+class TestTwoTierTrainer:
+    @pytest.fixture
+    def workload(self, kg) -> QueryWorkload:
+        workload = QueryWorkload()
+        for head, rel, _ in sorted(kg.triples):
+            workload.add(GroundedQuery("1p", Projection(rel, Entity(head)),
+                                       frozenset(kg.targets(head, rel)),
+                                       frozenset()))
+        return workload
+
+    def test_single_optimizer_when_rates_equal(self, kg, workload):
+        model = HalkModel(kg, CONFIG)
+        trainer = Trainer(model, workload,
+                          TrainConfig(epochs=1, batch_size=4, num_negatives=2,
+                                      learning_rate=1e-3,
+                                      embedding_learning_rate=1e-3))
+        assert len(trainer.optimizers) == 1
+
+    def test_two_optimizers_when_rates_differ(self, kg, workload):
+        model = HalkModel(kg, CONFIG)
+        trainer = Trainer(model, workload,
+                          TrainConfig(epochs=1, batch_size=4, num_negatives=2,
+                                      learning_rate=1e-3,
+                                      embedding_learning_rate=1e-2))
+        assert len(trainer.optimizers) == 2
+
+    def test_two_tier_training_updates_both_groups(self, kg, workload):
+        model = HalkModel(kg, CONFIG)
+        entity_before = model.entity_points.weight.data.copy()
+        mlp_before = model.projection.center_mlp.hidden_layers[0] \
+            .weight.data.copy()
+        Trainer(model, workload,
+                TrainConfig(epochs=3, batch_size=4, num_negatives=2,
+                            learning_rate=1e-3,
+                            embedding_learning_rate=1e-2)).train()
+        assert not np.allclose(entity_before, model.entity_points.weight.data)
+        assert not np.allclose(
+            mlp_before,
+            model.projection.center_mlp.hidden_layers[0].weight.data)

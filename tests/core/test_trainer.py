@@ -1,0 +1,97 @@
+"""Tests for the generic training loop."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainConfig
+from repro.core import HalkModel, Trainer
+from repro.kg import KnowledgeGraph
+from repro.queries import Entity, GroundedQuery, Projection, QueryWorkload
+
+
+@pytest.fixture(scope="module")
+def kg() -> KnowledgeGraph:
+    rng = np.random.default_rng(1)
+    triples = [(int(rng.integers(15)), int(rng.integers(2)),
+                int(rng.integers(15))) for _ in range(40)]
+    return KnowledgeGraph(15, 2, triples)
+
+
+@pytest.fixture
+def workload(kg) -> QueryWorkload:
+    workload = QueryWorkload()
+    for head, rel, _tail in list(kg)[:12]:
+        query = Projection(rel, Entity(head))
+        answers = kg.targets(head, rel)
+        workload.add(GroundedQuery("1p", query, frozenset(answers), frozenset()))
+    return workload
+
+
+@pytest.fixture
+def model(kg) -> HalkModel:
+    return HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12, seed=0))
+
+
+class TestTrainer:
+    def test_loss_decreases(self, model, workload):
+        trainer = Trainer(model, workload,
+                          TrainConfig(epochs=20, batch_size=8,
+                                      num_negatives=4, learning_rate=5e-3))
+        history = trainer.train()
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+    def test_history_lengths(self, model, workload):
+        config = TrainConfig(epochs=3, batch_size=8, num_negatives=4)
+        history = Trainer(model, workload, config).train()
+        assert len(history.epoch_losses) == 3
+        assert history.seconds > 0
+
+    def test_step_returns_finite_loss(self, model, workload):
+        trainer = Trainer(model, workload, TrainConfig(epochs=1, batch_size=4,
+                                                       num_negatives=4))
+        loss = trainer.step(workload["1p"][:4])
+        assert np.isfinite(loss)
+
+    def test_gamma_xi_read_from_model_config(self, model, workload):
+        trainer = Trainer(model, workload)
+        assert trainer.gamma == model.config.gamma
+        assert trainer.xi == model.config.xi
+
+    def test_gamma_override(self, model, workload):
+        trainer = Trainer(model, workload, gamma=3.0, xi=0.0)
+        assert trainer.gamma == 3.0
+        assert trainer.xi == 0.0
+
+    def test_negatives_exclude_answers(self, model, workload):
+        trainer = Trainer(model, workload,
+                          TrainConfig(epochs=1, batch_size=4, num_negatives=8,
+                                      seed=3))
+        batch = workload["1p"][:4]
+        negatives = trainer._sample_negatives(batch)
+        for row, query in zip(negatives, batch):
+            assert not set(int(e) for e in row) & set(query.all_answers)
+
+    def test_positives_drawn_from_answers(self, model, workload):
+        trainer = Trainer(model, workload, TrainConfig(epochs=1, batch_size=4,
+                                                       num_negatives=4))
+        batch = workload["1p"][:4]
+        positives = trainer._sample_positives(batch)
+        for value, query in zip(positives, batch):
+            assert int(value) in query.easy_answers
+
+    def test_training_is_deterministic_given_seeds(self, kg, workload):
+        def run():
+            model = HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12,
+                                              seed=0))
+            trainer = Trainer(model, workload,
+                              TrainConfig(epochs=2, batch_size=8,
+                                          num_negatives=4, seed=5))
+            return trainer.train().epoch_losses
+
+        assert run() == run()
+
+    def test_parameters_change_during_training(self, model, workload):
+        before = model.entity_points.weight.data.copy()
+        Trainer(model, workload, TrainConfig(epochs=2, batch_size=8,
+                                             num_negatives=4)).train()
+        assert not np.allclose(before, model.entity_points.weight.data)

@@ -1,0 +1,135 @@
+"""Tests for the synthetic dataset generators and the split protocol."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (DatasetSplits, GeneratorConfig, KnowledgeGraph,
+                      RelationSpec, fb15k_mini, fb237_mini, generate_kg,
+                      load_dataset, make_splits, nell_mini)
+
+
+class TestRelationSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            RelationSpec(kind="banana")
+
+    def test_inverse_requires_target(self):
+        with pytest.raises(ValueError):
+            RelationSpec(kind="inverse")
+
+
+class TestGenerateKG:
+    def test_deterministic_for_seed(self):
+        config = GeneratorConfig("t", 50, (RelationSpec(),), seed=7)
+        assert generate_kg(config).triples == generate_kg(config).triples
+
+    def test_different_seeds_differ(self):
+        base = GeneratorConfig("t", 50, (RelationSpec(),), seed=1)
+        other = GeneratorConfig("t", 50, (RelationSpec(),), seed=2)
+        assert generate_kg(base).triples != generate_kg(other).triples
+
+    def test_rotation_relations_have_no_self_loops(self):
+        config = GeneratorConfig("t", 60, (RelationSpec("rotation"),), seed=3)
+        kg = generate_kg(config)
+        assert all(h != t for h, _, t in kg)
+
+    def test_inverse_relation_mirrors(self):
+        config = GeneratorConfig(
+            "t", 60,
+            (RelationSpec("rotation"), RelationSpec("inverse", inverse_of=0)),
+            seed=4)
+        kg = generate_kg(config)
+        forward = {(h, t) for h, r, t in kg if r == 0}
+        backward = {(t, h) for h, r, t in kg if r == 1}
+        assert forward == backward
+
+    def test_community_links_point_to_hubs(self):
+        config = GeneratorConfig("t", 80, (RelationSpec("community"),), seed=5)
+        kg = generate_kg(config)
+        hubs = {t for _, _, t in kg}
+        assert 0 < len(hubs) <= 2 * config.num_communities
+
+    def test_hierarchy_is_acyclic(self):
+        import networkx as nx
+        config = GeneratorConfig("t", 80, (RelationSpec("hierarchy"),), seed=6)
+        kg = generate_kg(config)
+        g = nx.DiGraph((h, t) for h, _, t in kg)
+        assert nx.is_directed_acyclic_graph(g)
+
+
+class TestMakeSplits:
+    @pytest.fixture
+    def full(self) -> KnowledgeGraph:
+        config = GeneratorConfig(
+            "t", 100, (RelationSpec(), RelationSpec("community")), seed=0)
+        return generate_kg(config)
+
+    def test_nesting_invariant(self, full):
+        splits = make_splits(full)
+        assert splits.train.is_subgraph_of(splits.valid)
+        assert splits.valid.is_subgraph_of(splits.test)
+
+    def test_test_graph_is_full(self, full):
+        assert make_splits(full).test.triples == full.triples
+
+    def test_fractions_respected(self, full):
+        splits = make_splits(full, train_fraction=0.7, valid_fraction=0.85)
+        assert splits.train.num_triples <= splits.valid.num_triples
+        assert splits.train.num_triples >= int(0.7 * full.num_triples)
+
+    def test_every_entity_anchored_in_train(self, full):
+        splits = make_splits(full)
+        touched = set()
+        for head, _, tail in splits.train:
+            touched.add(head)
+            touched.add(tail)
+        reachable = {e for e in range(full.num_entities) if full.degree(e) > 0}
+        assert reachable <= touched
+
+    def test_rejects_bad_fractions(self, full):
+        with pytest.raises(ValueError):
+            make_splits(full, train_fraction=0.9, valid_fraction=0.5)
+        with pytest.raises(ValueError):
+            make_splits(full, train_fraction=0.0)
+
+    def test_deterministic(self, full):
+        a = make_splits(full, seed=3)
+        b = make_splits(full, seed=3)
+        assert a.train.triples == b.train.triples
+
+    def test_splits_validation_catches_violation(self, full):
+        splits = make_splits(full)
+        with pytest.raises(ValueError):
+            DatasetSplits("broken", train=splits.test, valid=splits.train,
+                          test=splits.test)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("builder", [fb15k_mini, fb237_mini, nell_mini])
+    def test_presets_build_valid_splits(self, builder):
+        splits = builder(scale=0.5)
+        assert splits.train.is_subgraph_of(splits.test)
+        assert splits.test.num_triples > 100
+
+    def test_fb15k_denser_than_fb237(self):
+        fb15k = fb15k_mini()
+        fb237 = fb237_mini()
+        assert (fb15k.test.num_triples / fb15k.test.num_entities
+                > fb237.test.num_triples / fb237.test.num_entities)
+
+    def test_nell_has_most_relations(self):
+        assert (nell_mini().test.num_relations
+                > fb237_mini().test.num_relations)
+
+    def test_scale_parameter(self):
+        small = fb237_mini(scale=0.5)
+        large = fb237_mini(scale=1.0)
+        assert small.test.num_entities < large.test.num_entities
+
+    def test_load_dataset_by_name(self):
+        splits = load_dataset("NELL", scale=0.5)
+        assert splits.name == "NELL-mini"
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            load_dataset("WordNet")

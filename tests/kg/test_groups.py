@@ -1,0 +1,102 @@
+"""Tests for group assignment and symbolic signature propagation."""
+
+import numpy as np
+import pytest
+
+from repro.kg import GroupAssignment, KnowledgeGraph
+
+
+@pytest.fixture
+def kg() -> KnowledgeGraph:
+    return KnowledgeGraph(6, 2, [(0, 0, 1), (1, 0, 2), (3, 1, 4), (4, 1, 5)])
+
+
+@pytest.fixture
+def groups(kg) -> GroupAssignment:
+    return GroupAssignment(kg, num_groups=3, seed=0)
+
+
+class TestAssignment:
+    def test_one_hot_rows(self, groups):
+        assert groups.one_hot.shape == (6, 3)
+        np.testing.assert_allclose(groups.one_hot.sum(axis=1), np.ones(6))
+
+    def test_groups_capped_by_entities(self, kg):
+        ga = GroupAssignment(kg, num_groups=100)
+        assert ga.num_groups == kg.num_entities
+
+    def test_rejects_nonpositive_groups(self, kg):
+        with pytest.raises(ValueError):
+            GroupAssignment(kg, num_groups=0)
+
+    def test_deterministic(self, kg):
+        a = GroupAssignment(kg, num_groups=3, seed=5)
+        b = GroupAssignment(kg, num_groups=3, seed=5)
+        np.testing.assert_array_equal(a.entity_group, b.entity_group)
+
+    def test_adjacency_reflects_triples(self, kg, groups):
+        for head, rel, tail in kg:
+            gi = groups.entity_group[head]
+            gk = groups.entity_group[tail]
+            assert groups.adjacency[rel, gi, gk] == 1.0
+
+    def test_adjacency_zero_where_no_edges(self, kg):
+        # A relation with no triples has an all-zero adjacency slice.
+        kg2 = KnowledgeGraph(6, 3, list(kg.triples))
+        ga = GroupAssignment(kg2, num_groups=3)
+        np.testing.assert_allclose(ga.adjacency[2], 0.0)
+
+
+class TestSignatures:
+    def test_entity_signature_is_one_hot(self, groups):
+        sig = groups.entity_signature(0)
+        assert sig.sum() == 1.0
+        assert sig[groups.entity_group[0]] == 1.0
+
+    def test_batch_signature(self, groups):
+        sigs = groups.batch_signature([0, 1, 2])
+        assert sigs.shape == (3, 3)
+
+    def test_signature_copies_are_independent(self, groups):
+        sig = groups.entity_signature(0)
+        sig[:] = 99.0
+        assert groups.entity_signature(0).max() == 1.0
+
+
+class TestPropagation:
+    def test_project_soundness(self, kg, groups):
+        # For every triple, projecting the head's signature must cover the
+        # tail's group.
+        for head, rel, tail in kg:
+            out = groups.project(groups.entity_signature(head), rel)
+            assert out[groups.entity_group[tail]] == 1.0
+
+    def test_project_is_binary(self, groups):
+        out = groups.project(np.ones(3), 0)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_intersect_is_and(self, groups):
+        a = np.array([1.0, 1.0, 0.0])
+        b = np.array([0.0, 1.0, 1.0])
+        np.testing.assert_allclose(groups.intersect([a, b]), [0.0, 1.0, 0.0])
+
+    def test_union_is_or(self, groups):
+        a = np.array([1.0, 0.0, 0.0])
+        b = np.array([0.0, 1.0, 0.0])
+        np.testing.assert_allclose(groups.union([a, b]), [1.0, 1.0, 0.0])
+
+    def test_difference_keeps_first(self, groups):
+        a = np.array([1.0, 0.0, 0.0])
+        b = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_allclose(groups.difference([a, b]), a)
+
+    def test_negate_is_full(self, groups):
+        np.testing.assert_allclose(groups.negate(np.array([1.0, 0.0, 0.0])),
+                                   np.ones(3))
+
+    def test_inputs_not_mutated(self, groups):
+        a = np.array([1.0, 1.0, 0.0])
+        b = np.array([0.0, 1.0, 1.0])
+        groups.intersect([a, b])
+        groups.union([a, b])
+        np.testing.assert_allclose(a, [1.0, 1.0, 0.0])

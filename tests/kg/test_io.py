@@ -1,0 +1,63 @@
+"""Tests for KG persistence (TSV round-trips)."""
+
+import pytest
+
+from repro.kg import (KnowledgeGraph, fb237_mini, load_kg, load_splits,
+                      save_kg, save_splits)
+
+
+@pytest.fixture
+def kg() -> KnowledgeGraph:
+    return KnowledgeGraph(3, 2, [(0, 0, 1), (1, 1, 2)],
+                          entity_names=["alice", "bob", "carol"],
+                          relation_names=["knows", "likes"])
+
+
+class TestKGRoundTrip:
+    def test_roundtrip_preserves_triples(self, kg, tmp_path):
+        save_kg(kg, tmp_path)
+        loaded = load_kg(tmp_path)
+        assert loaded.triples == kg.triples
+        assert loaded.entity_names == kg.entity_names
+        assert loaded.relation_names == kg.relation_names
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        kg = KnowledgeGraph(2, 1, [])
+        save_kg(kg, tmp_path)
+        assert load_kg(tmp_path).num_triples == 0
+
+    def test_malformed_line_raises_with_location(self, kg, tmp_path):
+        save_kg(kg, tmp_path)
+        with open(tmp_path / "triples.tsv", "a") as handle:
+            handle.write("only-two\tfields\n")
+        with pytest.raises(ValueError, match="triples.tsv:3"):
+            load_kg(tmp_path)
+
+    def test_unknown_vocab_raises(self, kg, tmp_path):
+        save_kg(kg, tmp_path)
+        with open(tmp_path / "triples.tsv", "a") as handle:
+            handle.write("alice\tknows\tmallory\n")
+        with pytest.raises(ValueError, match="unknown vocabulary"):
+            load_kg(tmp_path)
+
+    def test_blank_lines_ignored(self, kg, tmp_path):
+        save_kg(kg, tmp_path)
+        with open(tmp_path / "triples.tsv", "a") as handle:
+            handle.write("\n\n")
+        assert load_kg(tmp_path).num_triples == 2
+
+
+class TestSplitsRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        splits = fb237_mini(scale=0.3)
+        save_splits(splits, tmp_path)
+        loaded = load_splits(tmp_path, name=splits.name)
+        assert loaded.train.triples == splits.train.triples
+        assert loaded.valid.triples == splits.valid.triples
+        assert loaded.test.triples == splits.test.triples
+
+    def test_loaded_splits_keep_nesting(self, tmp_path):
+        save_splits(fb237_mini(scale=0.3), tmp_path)
+        loaded = load_splits(tmp_path)
+        assert loaded.train.is_subgraph_of(loaded.valid)
+        assert loaded.valid.is_subgraph_of(loaded.test)

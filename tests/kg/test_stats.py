@@ -1,0 +1,78 @@
+"""Tests for KG statistics and relation cardinality profiling."""
+
+import numpy as np
+import pytest
+
+from repro.kg import KnowledgeGraph, fb237_mini
+from repro.kg.stats import (format_stats, graph_stats, profile_relation,
+                            _gini)
+
+
+@pytest.fixture
+def kg() -> KnowledgeGraph:
+    # r0: functional (one tail per head); r1: one-to-many from a hub
+    return KnowledgeGraph(6, 2, [
+        (0, 0, 1), (2, 0, 3),
+        (4, 1, 0), (4, 1, 1), (4, 1, 2), (4, 1, 3),
+    ])
+
+
+class TestProfileRelation:
+    def test_one_to_one(self, kg):
+        profile = profile_relation(kg, 0)
+        assert profile.category == "1-1"
+        assert profile.num_triples == 2
+        assert profile.mean_tails_per_head == 1.0
+
+    def test_one_to_many(self, kg):
+        profile = profile_relation(kg, 1)
+        assert profile.category == "1-N"
+        assert profile.mean_tails_per_head == 4.0
+
+    def test_many_to_one(self):
+        kg = KnowledgeGraph(5, 1, [(0, 0, 4), (1, 0, 4), (2, 0, 4)])
+        assert profile_relation(kg, 0).category == "N-1"
+
+    def test_empty_relation(self):
+        kg = KnowledgeGraph(3, 2, [(0, 0, 1)])
+        profile = profile_relation(kg, 1)
+        assert profile.num_triples == 0
+        assert profile.mean_tails_per_head == 0.0
+
+
+class TestGraphStats:
+    def test_basic_counts(self, kg):
+        stats = graph_stats(kg)
+        assert stats.num_entities == 6
+        assert stats.num_triples == 6
+        assert stats.num_connected_entities == 5  # entity 5 isolated
+
+    def test_mean_degree(self, kg):
+        stats = graph_stats(kg)
+        assert stats.mean_degree == pytest.approx(2 * 6 / 6)
+
+    def test_category_counts(self, kg):
+        assert graph_stats(kg).category_counts == {"1-1": 1, "1-N": 1}
+
+    def test_gini_zero_for_uniform(self):
+        assert _gini(np.array([3.0, 3.0, 3.0])) == pytest.approx(0.0)
+
+    def test_gini_increases_with_skew(self):
+        uniform = _gini(np.array([1.0, 1.0, 1.0, 1.0]))
+        skewed = _gini(np.array([0.0, 0.0, 0.0, 4.0]))
+        assert skewed > uniform
+
+    def test_gini_empty(self):
+        assert _gini(np.array([])) == 0.0
+
+    def test_format_stats_readable(self, kg):
+        text = format_stats(graph_stats(kg), name="toy")
+        assert "toy" in text
+        assert "degree" in text
+
+    def test_on_synthetic_dataset(self):
+        stats = graph_stats(fb237_mini(scale=0.3).train)
+        assert stats.mean_degree > 1.0
+        assert 0.0 <= stats.degree_gini <= 1.0
+        # heavy-tailed fan-out should produce some N-sided relations
+        assert any("N" in c for c in stats.category_counts)

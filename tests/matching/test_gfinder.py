@@ -1,0 +1,135 @@
+"""Tests for the GFinder subgraph-matching executor."""
+
+import numpy as np
+import pytest
+
+from repro.kg import KnowledgeGraph, fb237_mini
+from repro.matching import GFinder, compile_pattern
+from repro.queries import (STRUCTURES, Difference, Entity, Intersection,
+                           Negation, Projection, QuerySampler, Union, execute,
+                           get_structure)
+
+
+@pytest.fixture
+def kg() -> KnowledgeGraph:
+    return KnowledgeGraph(6, 2, [
+        (0, 0, 2), (0, 0, 3), (1, 0, 3), (1, 0, 4), (5, 1, 0), (5, 1, 1),
+    ])
+
+
+class TestCompilePattern:
+    def materialize(self, node):  # pragma: no cover - never called here
+        raise AssertionError("conjunctive patterns need no materialisation")
+
+    def test_simple_projection(self):
+        pattern = compile_pattern(Projection(0, Entity(7)), self.materialize)
+        assert pattern.num_variables == 2
+        assert pattern.anchors == {0: 7}
+        assert pattern.target == 1
+        assert len(pattern.edges) == 1
+
+    def test_two_hop_chain(self):
+        pattern = compile_pattern(Projection(1, Projection(0, Entity(7))),
+                                  self.materialize)
+        assert pattern.num_variables == 3
+        assert len(pattern.edges) == 2
+
+    def test_intersection_merges_target(self):
+        query = Intersection((Projection(0, Entity(1)), Projection(1, Entity(2))))
+        pattern = compile_pattern(query, self.materialize)
+        targets = {e.target for e in pattern.edges}
+        assert len(targets) == 1  # both projections land on the same var
+
+    def test_set_op_becomes_restriction(self):
+        calls = []
+
+        def materialize(node):
+            calls.append(node)
+            return {1, 2}
+
+        query = Projection(0, Difference((Projection(1, Entity(0)),
+                                          Projection(0, Entity(1)))))
+        pattern = compile_pattern(query, materialize)
+        assert len(calls) == 1
+        assert isinstance(calls[0], Difference)
+        assert frozenset({1, 2}) in pattern.restrictions.values()
+
+
+class TestGFinderExact:
+    def test_matches_executor_on_projection(self, kg):
+        query = Projection(0, Entity(0))
+        assert GFinder(kg).execute(query) == execute(query, kg)
+
+    def test_matches_executor_on_intersection(self, kg):
+        query = Intersection((Projection(0, Entity(0)),
+                              Projection(0, Entity(1))))
+        assert GFinder(kg).execute(query) == execute(query, kg)
+
+    def test_matches_executor_on_difference(self, kg):
+        query = Difference((Projection(0, Entity(0)), Projection(0, Entity(1))))
+        assert GFinder(kg).execute(query) == execute(query, kg)
+
+    def test_matches_executor_on_negation(self, kg):
+        query = Intersection((Projection(0, Entity(1)),
+                              Negation(Projection(0, Entity(0)))))
+        assert GFinder(kg).execute(query) == execute(query, kg)
+
+    def test_matches_executor_on_union(self, kg):
+        query = Union((Projection(0, Entity(0)), Projection(1, Entity(5))))
+        assert GFinder(kg).execute(query) == execute(query, kg)
+
+    def test_empty_result(self, kg):
+        assert GFinder(kg).execute(Projection(1, Entity(2))) == set()
+
+    @pytest.mark.parametrize("name", sorted(STRUCTURES))
+    def test_agrees_with_executor_on_all_structures(self, name):
+        splits = fb237_mini(scale=0.3)
+        sampler = QuerySampler(splits.train, seed=11)
+        structure = get_structure(name)
+        grounded = sampler.sample(structure)
+        gfinder = GFinder(splits.train)
+        assert gfinder.execute(grounded.query) == set(grounded.easy_answers)
+
+
+class TestGFinderApproximate:
+    def test_exact_matches_preferred_over_approximate(self, kg):
+        # iterative deepening: when exact matches exist, the tolerant
+        # matcher returns exactly them (no false positives mixed in)
+        query = Projection(0, Entity(0))
+        exact = GFinder(kg, max_missing_edges=0).execute(query)
+        loose = GFinder(kg, max_missing_edges=1).execute(query)
+        assert loose == exact
+
+    def test_missing_edge_budget_recovers_when_exact_empty(self, kg):
+        # (2, r1, ?) has no exact match; the tolerant matcher proposes the
+        # closest bindings instead of returning nothing
+        query = Projection(1, Entity(2))
+        exact = GFinder(kg, max_missing_edges=0).execute(query)
+        loose = GFinder(kg, max_missing_edges=1).execute(query)
+        assert exact == set()
+        assert loose != set()
+
+    def test_state_budget_degrades_gracefully(self):
+        splits = fb237_mini(scale=0.3)
+        sampler = QuerySampler(splits.train, seed=5)
+        grounded = sampler.sample(get_structure("3i"))
+        tiny = GFinder(splits.train, max_states=3)
+        full = GFinder(splits.train)
+        # best-effort: returns a subset instead of raising
+        assert tiny.execute(grounded.query) <= full.execute(grounded.query)
+
+    def test_candidate_filter_restricts_variables(self, kg):
+        query = Projection(0, Entity(0))
+        full = GFinder(kg).execute(query)
+        filtered = GFinder(kg).execute(query, candidate_filter={2})
+        assert filtered == full & {2}
+
+    def test_incompleteness_hurts_vs_full_graph(self):
+        # GFinder on the observed graph misses answers that need unseen
+        # edges — the incompleteness weakness (§I, §IV-G).
+        splits = fb237_mini(scale=0.3)
+        sampler = QuerySampler(splits.valid, splits.test, seed=1)
+        grounded = sampler.sample(get_structure("1p"))
+        observed = GFinder(splits.valid).execute(grounded.query)
+        assert observed == set(grounded.easy_answers)
+        assert set(grounded.hard_answers).isdisjoint(observed)

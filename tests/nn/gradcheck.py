@@ -1,0 +1,43 @@
+"""Numerical gradient checking utilities for the autograd engine tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = fn(x.copy())
+        flat[i] = original - eps
+        lo = fn(x.copy())
+        flat[i] = original
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, x: np.ndarray, atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Assert that autograd and numerical gradients of ``op`` agree.
+
+    ``op`` maps a Tensor to a Tensor; the check reduces the output with
+    ``sum()`` to obtain a scalar loss.
+    """
+
+    def scalar_fn(values: np.ndarray) -> float:
+        t = Tensor(values, requires_grad=True)
+        return float(op(t).sum().data)
+
+    t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    loss = op(t).sum()
+    loss.backward()
+    analytic = t.grad
+    numeric = numerical_grad(scalar_fn, np.asarray(x, dtype=np.float64))
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

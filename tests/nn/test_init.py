@@ -1,0 +1,53 @@
+"""Tests for parameter initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestUniform:
+    def test_range(self):
+        values = init.uniform((1000,), low=-2.0, high=3.0,
+                              rng=np.random.default_rng(0))
+        assert values.min() >= -2.0
+        assert values.max() < 3.0
+
+    def test_shape(self):
+        assert init.uniform((3, 4)).shape == (3, 4)
+
+    def test_deterministic_with_rng(self):
+        a = init.uniform((5,), rng=np.random.default_rng(7))
+        b = init.uniform((5,), rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestXavier:
+    def test_bound_formula(self):
+        fan_in, fan_out = 30, 50
+        values = init.xavier_uniform((fan_in, fan_out),
+                                     rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.abs(values).max() <= bound
+
+    def test_variance_scales_with_fans(self):
+        rng = np.random.default_rng(0)
+        small = init.xavier_uniform((10, 10), rng=rng)
+        large = init.xavier_uniform((1000, 1000), rng=rng)
+        assert small.std() > large.std()
+
+    def test_shape(self):
+        assert init.xavier_uniform((7, 3)).shape == (7, 3)
+
+
+class TestDefaultRng:
+    def test_seeded_reproducible(self):
+        a = init.default_rng(3).random(4)
+        b = init.default_rng(3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unseeded_differs(self):
+        # overwhelmingly likely to differ
+        a = init.default_rng().random(8)
+        b = init.default_rng().random(8)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,151 @@
+"""Unit tests for nn modules (Linear, MLP, Embedding, Module machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, Embedding, Linear, Module, Parameter, Sequential, Tensor, F
+
+
+class TestModuleMachinery:
+    def test_parameters_recurse_submodules(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 3)
+                self.b = Linear(3, 1)
+
+        params = list(Net().parameters())
+        assert len(params) == 4  # two weights + two biases
+
+    def test_parameters_deduplicated_when_shared(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 2)
+                self.b = self.a
+
+        assert len(list(Net().parameters())) == 2
+
+    def test_named_parameters_paths(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = Linear(2, 2)
+
+        names = dict(Net().named_parameters())
+        assert "layer.weight" in names and "layer.bias" in names
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 1)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_state_dict_roundtrip(self):
+        src = Linear(2, 2, rng=np.random.default_rng(0))
+        dst = Linear(2, 2, rng=np.random.default_rng(1))
+        dst.load_state_dict(src.state_dict())
+        np.testing.assert_allclose(src.weight.data, dst.weight.data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        layer = Linear(2, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3)
+        assert layer(Tensor(np.zeros((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_affine_computation(self):
+        layer = Linear(2, 1)
+        layer.weight.data[...] = [[2.0], [3.0]]
+        layer.bias.data[...] = [1.0]
+        out = layer(Tensor([[1.0, 1.0]]))
+        np.testing.assert_allclose(out.data, [[6.0]])
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = MLP(6, 8, 3, num_hidden_layers=2)
+        assert mlp(Tensor(np.zeros((4, 6)))).shape == (4, 3)
+
+    def test_invalid_activation_raises(self):
+        with pytest.raises(ValueError):
+            MLP(2, 2, 2, activation="nope")
+
+    def test_all_activations_run(self):
+        for act in ("relu", "tanh", "sigmoid"):
+            mlp = MLP(2, 4, 2, activation=act)
+            assert mlp(Tensor(np.ones((1, 2)))).shape == (1, 2)
+
+    def test_gradients_reach_all_layers(self):
+        mlp = MLP(3, 5, 2, num_hidden_layers=2, rng=np.random.default_rng(0))
+        mlp(Tensor(np.random.default_rng(1).normal(size=(4, 3)))).sum().backward()
+        for param in mlp.parameters():
+            assert param.grad is not None
+
+    def test_can_fit_xor(self):
+        # A smoke test that the whole stack (modules + autograd + Adam)
+        # actually learns: XOR is not linearly separable.
+        rng = np.random.default_rng(0)
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        y = np.array([[0.0], [1.0], [1.0], [0.0]])
+        mlp = MLP(2, 8, 1, activation="tanh", rng=rng)
+        opt = Adam(mlp.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            pred = F.sigmoid(mlp(Tensor(x)))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        final = F.sigmoid(mlp(Tensor(x))).data
+        assert np.all(np.abs(final - y) < 0.2)
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        seq = Sequential(Linear(2, 4), Linear(4, 1))
+        assert seq(Tensor(np.zeros((3, 2)))).shape == (3, 1)
+
+    def test_registers_parameters(self):
+        seq = Sequential(Linear(2, 4), Linear(4, 1))
+        assert len(list(seq.parameters())) == 4
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4)
+        assert emb([1, 2, 3]).shape == (3, 4)
+
+    def test_gradient_only_on_touched_rows(self):
+        emb = Embedding(5, 2, rng=np.random.default_rng(0))
+        emb([1, 3]).sum().backward()
+        grad = emb.weight.grad
+        np.testing.assert_allclose(grad[[0, 2, 4]], 0.0)
+        np.testing.assert_allclose(grad[[1, 3]], 1.0)
+
+    def test_custom_init_range(self):
+        emb = Embedding(100, 8, low=0.0, high=2 * np.pi,
+                        rng=np.random.default_rng(0))
+        assert emb.weight.data.min() >= 0.0
+        assert emb.weight.data.max() < 2 * np.pi

@@ -1,0 +1,97 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, Tensor
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    # Loss (p - 3)^2 with unique minimum at 3.
+    return ((param - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_rejects_empty_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter([0.0])], lr=0.0)
+
+    def test_single_step_direction(self):
+        p = Parameter([0.0])
+        opt = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.step()
+        # grad = 2*(0-3) = -6; p <- 0 - 0.1*(-6) = 0.6
+        np.testing.assert_allclose(p.data, [0.6])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter([0.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter([0.0])
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter([1.0])
+        q = Parameter([1.0])
+        opt = SGD([p, q], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(q.data, [1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter([10.0])
+        opt = Adam([p], lr=0.3)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, the first Adam step has magnitude ~lr.
+        p = Parameter([0.0])
+        opt = Adam([p], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(abs(p.data[0]), 0.1, rtol=1e-5)
+
+    def test_handles_ill_conditioned_scales(self):
+        # One coordinate has gradients 100x the other; Adam should still
+        # move both towards the optimum at a comparable pace.
+        p = Parameter([0.0, 0.0])
+        target = np.array([1.0, 1.0])
+        opt = Adam([p], lr=0.05)
+        scale = Tensor([100.0, 1.0])
+        for _ in range(500):
+            opt.zero_grad()
+            ((scale * (p - Tensor(target))) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_zero_grad_via_optimizer(self):
+        p = Parameter([0.0])
+        opt = Adam([p])
+        quadratic_loss(p).backward()
+        opt.zero_grad()
+        assert p.grad is None

@@ -1,0 +1,262 @@
+"""Unit tests for the autograd Tensor core."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, no_grad
+
+from .gradcheck import check_gradient
+
+
+class TestConstruction:
+    def test_wraps_array_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_requires_grad_default_off(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_wraps_scalars(self):
+        t = as_tensor(2.5)
+        assert t.data == pytest.approx(2.5)
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor(3.0).item() == pytest.approx(3.0)
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = Tensor([1.0]) + 2.0
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_radd(self):
+        out = 2.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_sub(self):
+        out = Tensor([5.0]) - Tensor([2.0])
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_rsub(self):
+        out = 5.0 - Tensor([2.0])
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_mul(self):
+        out = Tensor([2.0]) * Tensor([3.0])
+        np.testing.assert_allclose(out.data, [6.0])
+
+    def test_div(self):
+        out = Tensor([6.0]) / Tensor([3.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_rdiv(self):
+        out = 6.0 / Tensor([3.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_pow(self):
+        out = Tensor([3.0]) ** 2
+        np.testing.assert_allclose(out.data, [9.0])
+
+    def test_neg(self):
+        out = -Tensor([1.0, -2.0])
+        np.testing.assert_allclose(out.data, [-1.0, 2.0])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[1.0], [1.0]])
+        np.testing.assert_allclose((a @ b).data, [[3.0], [7.0]])
+
+
+class TestBackward:
+    def test_add_grads_both_sides(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_grads(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([5.0], requires_grad=True)
+        (a * b).backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+        np.testing.assert_allclose(b.grad, [2.0])
+
+    def test_div_grads(self):
+        check_gradient(lambda t: t / Tensor([2.0, 4.0]), np.array([1.0, 3.0]))
+        check_gradient(lambda t: Tensor([1.0, 3.0]) / t, np.array([2.0, 4.0]))
+
+    def test_pow_grad(self):
+        check_gradient(lambda t: t ** 3, np.array([1.5, -0.5, 2.0]))
+
+    def test_matmul_grads(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(3, 2))
+        check_gradient(lambda t: t @ Tensor(w), rng.normal(size=(4, 3)))
+        x = rng.normal(size=(4, 3))
+        check_gradient(lambda t: Tensor(x) @ t, w)
+
+    def test_diamond_graph_accumulates(self):
+        # y = x*x + x*x must give grad 4x, exercising shared subexpressions.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        (y + y).backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_reused_leaf_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * 3 + x * 4).backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_broadcast_add_unbroadcasts_grad(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+
+    def test_broadcast_mul_grad_values(self):
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=(4,))
+        check_gradient(lambda t: t * Tensor(b), rng.normal(size=(3, 4)))
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_no_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 20.0])
+
+    def test_second_backward_accumulates_on_leaf(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        (x * 2).backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_recording(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores_flag(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            pass
+        assert (x * 2).requires_grad
+
+    def test_no_grad_restores_after_exception(self):
+        x = Tensor([1.0], requires_grad=True)
+        try:
+            with no_grad():
+                raise ValueError
+        except ValueError:
+            pass
+        assert (x * 2).requires_grad
+
+
+class TestIndexingShaping:
+    def test_getitem_forward(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(t[0].data, [1.0, 2.0])
+
+    def test_getitem_grad_scatters(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        t[1].sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.0, 0.0], [1.0, 1.0]])
+
+    def test_getitem_fancy_index_repeats_accumulate(self):
+        t = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        t[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 0.0, 1.0])
+
+    def test_reshape_roundtrip_grad(self):
+        t = Tensor(np.arange(6.0), requires_grad=True)
+        t.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones(6))
+
+    def test_reshape_accepts_tuple(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = t.transpose()
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert t.grad.shape == (2, 3)
+
+    def test_transpose_axes_grad(self):
+        rng = np.random.default_rng(2)
+        check_gradient(lambda t: t.transpose(1, 0, 2) * 2.0,
+                       rng.normal(size=(2, 3, 4)))
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor([[1.0, 2.0], [3.0, 4.0]]).sum().item() == pytest.approx(10.0)
+
+    def test_sum_axis_keepdims(self):
+        out = Tensor(np.ones((2, 3))).sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_sum_axis_grad(self):
+        check_gradient(lambda t: t.sum(axis=0) * Tensor([1.0, 2.0, 3.0]),
+                       np.random.default_rng(3).normal(size=(4, 3)))
+
+    def test_mean(self):
+        assert Tensor([2.0, 4.0]).mean().item() == pytest.approx(3.0)
+
+    def test_mean_axis_grad(self):
+        check_gradient(lambda t: t.mean(axis=1),
+                       np.random.default_rng(4).normal(size=(3, 5)))
+
+    def test_min_reduce(self):
+        assert Tensor([3.0, 1.0, 2.0]).min().item() == pytest.approx(1.0)
+
+    def test_max_reduce_grad_goes_to_argmax(self):
+        t = Tensor([1.0, 5.0, 2.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_min_reduce_axis(self):
+        out = Tensor([[3.0, 1.0], [0.0, 2.0]]).min(axis=0)
+        np.testing.assert_allclose(out.data, [0.0, 1.0])
+
+    def test_min_ties_split_gradient(self):
+        t = Tensor([1.0, 1.0], requires_grad=True)
+        t.min().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5])

@@ -1,0 +1,102 @@
+"""Additional autograd edge-case tests (broadcasting, deep graphs)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import F, Tensor
+
+from .gradcheck import check_gradient
+
+
+class TestBroadcastingEdgeCases:
+    def test_scalar_broadcast_to_matrix(self):
+        s = Tensor(2.0, requires_grad=True)
+        m = Tensor(np.ones((3, 4)))
+        (s * m).sum().backward()
+        np.testing.assert_allclose(s.grad, 12.0)
+
+    def test_row_and_column_broadcast(self):
+        row = Tensor(np.ones((1, 4)), requires_grad=True)
+        col = Tensor(np.ones((3, 1)), requires_grad=True)
+        (row + col).sum().backward()
+        np.testing.assert_allclose(row.grad, np.full((1, 4), 3.0))
+        np.testing.assert_allclose(col.grad, np.full((3, 1), 4.0))
+
+    def test_three_dim_broadcast_grad(self):
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=(1, 5, 1))
+        check_gradient(lambda t: t * Tensor(b), rng.normal(size=(2, 5, 3)))
+
+    def test_division_broadcast_grad(self):
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=(4,)) + 3.0
+        check_gradient(lambda t: t / Tensor(b), rng.normal(size=(2, 4)))
+
+
+class TestDeepGraphs:
+    def test_long_chain_gradient(self):
+        # 200 chained adds: gradient is exactly 1, no recursion blowup
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(200):
+            y = y + 0.01
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_wide_fanout_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        total = None
+        for i in range(50):
+            term = x * float(i)
+            total = term if total is None else total + term
+        total.backward()
+        np.testing.assert_allclose(x.grad, [sum(range(50))])
+
+    def test_shared_subexpression_counted_once_per_use(self):
+        x = Tensor([3.0], requires_grad=True)
+        shared = x * 2          # dy/dx = 2
+        out = shared * shared   # y = 4x^2, dy/dx = 8x = 24
+        out.backward()
+        np.testing.assert_allclose(x.grad, [24.0])
+
+    def test_detached_branch_blocks_gradient(self):
+        x = Tensor([5.0], requires_grad=True)
+        y = (x * 2).detach() * x  # only the second factor carries grad
+        y.backward()
+        np.testing.assert_allclose(x.grad, [10.0])
+
+
+class TestCompositeExpressions:
+    def test_attention_like_block(self):
+        # softmax(xW) weighted sum — the shape of the operator attention
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(4, 4))
+        values = rng.normal(size=(3, 4))
+
+        def block(t):
+            weights = F.softmax(t @ Tensor(w), axis=-1)
+            return weights * Tensor(values)
+
+        check_gradient(block, rng.normal(size=(3, 4)))
+
+    def test_chord_distance_block(self):
+        # the Eq. 16 building block: |sin((a-b)/2)| summed
+        rng = np.random.default_rng(3)
+        b = rng.uniform(0, 2 * np.pi, size=(3, 4))
+
+        def block(t):
+            return F.abs_(F.sin((t - Tensor(b)) / 2.0))
+
+        check_gradient(block, rng.uniform(0.1, 6.0, size=(3, 4)))
+
+    def test_rectangular_roundtrip_block(self):
+        # Eq. 4-6: angle -> (cos, sin) -> weighted sum -> arctan2
+        rng = np.random.default_rng(4)
+        w = rng.uniform(0.2, 0.8, size=(3, 4))
+
+        def block(t):
+            x = Tensor(w) * F.cos(t)
+            y = Tensor(w) * F.sin(t)
+            return F.arctan2(y, x + 2.0)  # +2 keeps x away from 0
+
+        check_gradient(block, rng.uniform(-1.0, 1.0, size=(3, 4)))

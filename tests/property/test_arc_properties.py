@@ -1,0 +1,97 @@
+"""Hypothesis property tests for arc geometry and operator invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.config import ModelConfig
+from repro.core import (Arc, DifferenceOperator, IntersectionOperator,
+                        NegationOperator, entity_to_arc_distance)
+from repro.nn import Tensor
+
+TWO_PI = 2 * np.pi
+DIM = 4
+CONFIG = ModelConfig(embedding_dim=DIM, hidden_dim=8, seed=0)
+
+angles = st.floats(min_value=0.0, max_value=TWO_PI - 1e-9,
+                   allow_nan=False, width=64)
+lengths = st.floats(min_value=0.0, max_value=TWO_PI, allow_nan=False, width=64)
+
+
+def angle_arrays():
+    return arrays(np.float64, (2, DIM), elements=angles)
+
+
+def length_arrays():
+    return arrays(np.float64, (2, DIM), elements=lengths)
+
+
+@settings(max_examples=40, deadline=None)
+@given(angle_arrays(), length_arrays())
+def test_start_end_reconstruct_center(center, length):
+    arc = Arc(Tensor(center), Tensor(length))
+    midpoint = (arc.start.data + arc.end.data) / 2.0
+    np.testing.assert_allclose(midpoint, center, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(angle_arrays(), length_arrays(), angle_arrays())
+def test_distance_nonnegative(center, length, points):
+    arc = Arc(Tensor(center), Tensor(length))
+    d = entity_to_arc_distance(Tensor(points[:, None, :]), arc, eta=0.02)
+    assert np.all(d.data >= -1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(angle_arrays(), length_arrays(), angle_arrays())
+def test_distance_invariant_to_full_rotation(center, length, points):
+    arc = Arc(Tensor(center), Tensor(length))
+    shifted = Arc(Tensor(center + TWO_PI), Tensor(length))
+    d1 = entity_to_arc_distance(Tensor(points[:, None, :]), arc, eta=0.02)
+    d2 = entity_to_arc_distance(Tensor(points[:, None, :]), shifted, eta=0.02)
+    np.testing.assert_allclose(d1.data, d2.data, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(angle_arrays(), length_arrays())
+def test_negation_linear_part_tiles_circle(center, length):
+    op = NegationOperator(CONFIG, np.random.default_rng(0))
+    arc = Arc(Tensor(center), Tensor(length))
+    negated = op.linear_negation(arc)
+    np.testing.assert_allclose(arc.length.data + negated.length.data, TWO_PI)
+
+
+@settings(max_examples=25, deadline=None)
+@given(angle_arrays(), length_arrays(), angle_arrays(), length_arrays())
+def test_intersection_cardinality_bound(c1, l1, c2, l2):
+    op = IntersectionOperator(CONFIG, np.random.default_rng(0))
+    a = Arc(Tensor(c1), Tensor(l1))
+    b = Arc(Tensor(c2), Tensor(l2))
+    out = op([a, b])
+    bound = np.minimum(l1, l2)
+    assert np.all(out.length.data <= bound + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(angle_arrays(), length_arrays(), angle_arrays(), length_arrays())
+def test_difference_subset_of_head(c1, l1, c2, l2):
+    op = DifferenceOperator(CONFIG, np.random.default_rng(0))
+    head = Arc(Tensor(c1), Tensor(l1))
+    other = Arc(Tensor(c2), Tensor(l2))
+    out = op([head, other])
+    assert np.all(out.length.data <= head.length.data + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(angle_arrays(), length_arrays(), angle_arrays(), length_arrays(),
+       angle_arrays(), length_arrays())
+def test_difference_permutation_invariant_over_rest(c1, l1, c2, l2, c3, l3):
+    op = DifferenceOperator(CONFIG, np.random.default_rng(0))
+    head = Arc(Tensor(c1), Tensor(l1))
+    b = Arc(Tensor(c2), Tensor(l2))
+    c = Arc(Tensor(c3), Tensor(l3))
+    out1 = op([head, b, c])
+    out2 = op([head, c, b])
+    np.testing.assert_allclose(out1.center.data, out2.center.data, atol=1e-9)
+    np.testing.assert_allclose(out1.length.data, out2.length.data, atol=1e-9)

@@ -1,0 +1,111 @@
+"""Hypothesis property tests for query semantics (set-algebra laws)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import KnowledgeGraph
+from repro.queries import (Difference, Entity, Intersection, Negation, Node,
+                           Projection, Union, execute, to_dnf)
+
+N_ENTITIES = 12
+N_RELATIONS = 3
+
+
+@st.composite
+def graphs(draw):
+    n_triples = draw(st.integers(min_value=5, max_value=40))
+    triples = [
+        (draw(st.integers(0, N_ENTITIES - 1)),
+         draw(st.integers(0, N_RELATIONS - 1)),
+         draw(st.integers(0, N_ENTITIES - 1)))
+        for _ in range(n_triples)
+    ]
+    return KnowledgeGraph(N_ENTITIES, N_RELATIONS, triples)
+
+
+@st.composite
+def queries(draw, depth=2) -> Node:
+    if depth == 0:
+        return Entity(draw(st.integers(0, N_ENTITIES - 1)))
+    kind = draw(st.sampled_from(
+        ["entity", "projection", "intersection", "union", "difference",
+         "negation"]))
+    if kind == "entity":
+        return Entity(draw(st.integers(0, N_ENTITIES - 1)))
+    if kind == "projection":
+        return Projection(draw(st.integers(0, N_RELATIONS - 1)),
+                          draw(queries(depth=depth - 1)))
+    if kind == "negation":
+        return Negation(draw(queries(depth=depth - 1)))
+    operands = tuple(draw(queries(depth=depth - 1))
+                     for _ in range(draw(st.integers(2, 3))))
+    if kind == "intersection":
+        return Intersection(operands)
+    if kind == "union":
+        return Union(operands)
+    return Difference(operands)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), queries())
+def test_dnf_preserves_semantics(kg, query):
+    direct = execute(query, kg)
+    via_dnf = set()
+    for branch in to_dnf(query):
+        via_dnf |= execute(branch, kg)
+    assert direct == via_dnf
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), queries(depth=1), queries(depth=1))
+def test_difference_equals_intersection_with_negation(kg, a, b):
+    # B − C == B ∩ ¬C (the identity underlying Fig. 2 of the paper)
+    diff = execute(Difference((a, b)), kg)
+    neg = execute(Intersection((a, Negation(b))), kg)
+    assert diff == neg
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), queries(depth=1))
+def test_double_negation_is_identity(kg, q):
+    assert execute(Negation(Negation(q)), kg) == execute(q, kg)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), queries(depth=1), queries(depth=1))
+def test_de_morgan(kg, a, b):
+    lhs = execute(Negation(Union((a, b))), kg)
+    rhs = execute(Intersection((Negation(a), Negation(b))), kg)
+    assert lhs == rhs
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), queries(depth=1), queries(depth=1))
+def test_intersection_commutative(kg, a, b):
+    assert execute(Intersection((a, b)), kg) == execute(Intersection((b, a)), kg)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), queries(depth=1), queries(depth=1))
+def test_union_upper_bounds_operands(kg, a, b):
+    union = execute(Union((a, b)), kg)
+    assert execute(a, kg) <= union
+    assert execute(b, kg) <= union
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.integers(0, N_RELATIONS - 1), queries(depth=1),
+       queries(depth=1))
+def test_projection_distributes_over_union(kg, rel, a, b):
+    lhs = execute(Projection(rel, Union((a, b))), kg)
+    rhs = execute(Union((Projection(rel, a), Projection(rel, b))), kg)
+    assert lhs == rhs
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), queries())
+def test_gfinder_agrees_with_executor(kg, query):
+    from repro.matching import GFinder
+    assert GFinder(kg).execute(query) == execute(query, kg)

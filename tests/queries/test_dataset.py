@@ -1,0 +1,91 @@
+"""Tests for the workload container and the 1p coverage guarantee."""
+
+import pytest
+
+from repro.kg import fb237_mini
+from repro.queries import (Entity, GroundedQuery, Projection, QueryWorkload,
+                           build_workloads)
+from repro.queries.dataset import _all_link_queries
+
+
+@pytest.fixture(scope="module")
+def splits():
+    return fb237_mini(scale=0.3)
+
+
+class TestQueryWorkload:
+    def test_add_and_getitem(self):
+        workload = QueryWorkload()
+        q = GroundedQuery("1p", Projection(0, Entity(0)),
+                          frozenset({1}), frozenset())
+        workload.add(q)
+        assert workload["1p"] == [q]
+        assert "1p" in workload
+        assert "2p" not in workload
+
+    def test_structures_sorted(self):
+        workload = QueryWorkload()
+        for name in ("2p", "1p", "3i"):
+            workload.add(GroundedQuery(name, Entity(0), frozenset({0}),
+                                       frozenset()))
+        assert workload.structures() == ["1p", "2p", "3i"]
+
+    def test_total_and_iter_agree(self):
+        workload = QueryWorkload()
+        for i in range(5):
+            workload.add(GroundedQuery("1p", Entity(i), frozenset({i}),
+                                       frozenset()))
+        assert workload.total() == 5
+        assert len(list(workload)) == 5
+
+
+class TestAllLinkQueries:
+    def test_covers_every_head_relation_pair(self, splits):
+        queries = list(_all_link_queries(splits))
+        pairs = {(q.query.operand.entity, q.query.relation) for q in queries}
+        expected = {(h, r) for h, r, _ in splits.train.triples}
+        assert pairs == expected
+
+    def test_answers_are_exact_targets(self, splits):
+        for query in list(_all_link_queries(splits))[:25]:
+            head = query.query.operand.entity
+            rel = query.query.relation
+            assert set(query.easy_answers) == set(
+                splits.train.targets(head, rel))
+
+    def test_no_duplicates(self, splits):
+        queries = list(_all_link_queries(splits))
+        assert len({q.query for q in queries}) == len(queries)
+
+
+class TestBuildWorkloadsOptions:
+    def test_per_structure_counts(self, splits):
+        bundle = build_workloads(
+            splits,
+            train_structures=("2p", "2i"),
+            eval_structures=("2p",),
+            queries_per_structure={"2p": 5, "2i": 3},
+            eval_queries_per_structure=2, seed=0, all_1p=False)
+        assert len(bundle.train["2p"]) <= 5
+        assert len(bundle.train["2i"]) <= 3
+        assert "1p" not in bundle.train
+
+    def test_all_1p_flag(self, splits):
+        with_1p = build_workloads(splits, train_structures=("1p",),
+                                  eval_structures=("1p",),
+                                  queries_per_structure=5,
+                                  eval_queries_per_structure=2, seed=0,
+                                  all_1p=True)
+        without = build_workloads(splits, train_structures=("1p",),
+                                  eval_structures=("1p",),
+                                  queries_per_structure=5,
+                                  eval_queries_per_structure=2, seed=0,
+                                  all_1p=False)
+        assert len(with_1p.train["1p"]) > len(without.train["1p"])
+
+    def test_custom_eval_structures(self, splits):
+        bundle = build_workloads(splits, train_structures=("1p",),
+                                 eval_structures=("2u",),
+                                 queries_per_structure=5,
+                                 eval_queries_per_structure=2, seed=0)
+        assert bundle.test.structures() == ["2u"]

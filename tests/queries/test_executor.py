@@ -1,0 +1,85 @@
+"""Tests for the exact set-semantics executor."""
+
+import pytest
+
+from repro.kg import KnowledgeGraph
+from repro.queries import (Difference, Entity, Intersection, Negation,
+                           Projection, Union, answer_sets, execute)
+
+
+@pytest.fixture
+def kg() -> KnowledgeGraph:
+    # relations: 0 = "directs", 1 = "winner"
+    # 0,1 direct films 2,3,4 ; entity 5 "won" 0 and 1 "won" nothing
+    return KnowledgeGraph(6, 2, [
+        (0, 0, 2), (0, 0, 3), (1, 0, 3), (1, 0, 4), (5, 1, 0),
+    ])
+
+
+class TestExecute:
+    def test_entity(self, kg):
+        assert execute(Entity(3), kg) == {3}
+
+    def test_entity_out_of_range(self, kg):
+        with pytest.raises(ValueError):
+            execute(Entity(99), kg)
+
+    def test_projection(self, kg):
+        assert execute(Projection(0, Entity(0)), kg) == {2, 3}
+
+    def test_projection_empty(self, kg):
+        assert execute(Projection(1, Entity(3)), kg) == set()
+
+    def test_two_hop(self, kg):
+        # films directed by people that entity 5 picked as winners
+        q = Projection(0, Projection(1, Entity(5)))
+        assert execute(q, kg) == {2, 3}
+
+    def test_intersection(self, kg):
+        q = Intersection((Projection(0, Entity(0)), Projection(0, Entity(1))))
+        assert execute(q, kg) == {3}
+
+    def test_intersection_short_circuits_empty(self, kg):
+        q = Intersection((Projection(1, Entity(3)), Projection(0, Entity(0))))
+        assert execute(q, kg) == set()
+
+    def test_union(self, kg):
+        q = Union((Projection(0, Entity(0)), Projection(0, Entity(1))))
+        assert execute(q, kg) == {2, 3, 4}
+
+    def test_difference(self, kg):
+        q = Difference((Projection(0, Entity(0)), Projection(0, Entity(1))))
+        assert execute(q, kg) == {2}
+
+    def test_difference_multiple_subtrahends(self, kg):
+        q = Difference((Union((Projection(0, Entity(0)), Projection(0, Entity(1)))),
+                        Entity(2), Entity(4)))
+        assert execute(q, kg) == {3}
+
+    def test_negation_is_complement(self, kg):
+        q = Negation(Projection(0, Entity(0)))
+        assert execute(q, kg) == {0, 1, 4, 5}
+
+    def test_negation_with_intersection(self, kg):
+        # films by 1 that were not made by 0
+        q = Intersection((Projection(0, Entity(1)),
+                          Negation(Projection(0, Entity(0)))))
+        assert execute(q, kg) == {4}
+
+    def test_difference_vs_negation_equivalence(self, kg):
+        # B − C == B ∩ ¬C (paper Fig. 2 discussion)
+        b = Projection(0, Entity(0))
+        c = Projection(0, Entity(1))
+        assert (execute(Difference((b, c)), kg)
+                == execute(Intersection((b, Negation(c))), kg))
+
+    def test_answer_sets_multi_graph(self, kg):
+        bigger = kg.merge(KnowledgeGraph(6, 2, [(0, 0, 4)]))
+        q = Projection(0, Entity(0))
+        small, large = answer_sets(q, kg, bigger)
+        assert small == {2, 3}
+        assert large == {2, 3, 4}
+
+    def test_unknown_node_type_raises(self, kg):
+        with pytest.raises(TypeError):
+            execute("not a node", kg)

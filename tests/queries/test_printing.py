@@ -1,0 +1,65 @@
+"""Tests for computation-graph rendering."""
+
+import pytest
+
+from repro.kg import KnowledgeGraph
+from repro.queries import (Difference, Entity, Intersection, Negation,
+                           Projection, Union)
+from repro.queries.printing import to_text, to_tree
+
+
+@pytest.fixture
+def kg() -> KnowledgeGraph:
+    return KnowledgeGraph(3, 2, [(0, 0, 1)],
+                          entity_names=["oscar", "spielberg", "jaws"],
+                          relation_names=["won_by", "directed"])
+
+
+class TestToText:
+    def test_entity(self):
+        assert to_text(Entity(3)) == "e3"
+
+    def test_projection(self):
+        assert to_text(Projection(1, Entity(3))) == "P[r1](e3)"
+
+    def test_nested_operators(self):
+        query = Intersection((Projection(0, Entity(1)),
+                              Negation(Projection(1, Entity(2)))))
+        assert to_text(query) == "I(P[r0](e1), N(P[r1](e2)))"
+
+    def test_union_and_difference_letters(self):
+        assert to_text(Union((Entity(0), Entity(1)))) == "U(e0, e1)"
+        assert to_text(Difference((Entity(0), Entity(1)))) == "D(e0, e1)"
+
+    def test_names_resolved_with_kg(self, kg):
+        query = Projection(1, Projection(0, Entity(0)))
+        assert to_text(query, kg) == "P[directed](P[won_by](oscar))"
+
+
+class TestToTree:
+    def test_single_entity(self):
+        assert to_tree(Entity(5)) == "entity e5"
+
+    def test_projection_chain_depth(self):
+        tree = to_tree(Projection(1, Projection(0, Entity(0))))
+        lines = tree.splitlines()
+        assert lines[0].startswith("projection")
+        assert len(lines) == 3
+
+    def test_intersection_children_marked(self):
+        tree = to_tree(Intersection((Entity(0), Entity(1), Entity(2))))
+        assert tree.count("├── ") == 2
+        assert tree.count("└── ") == 1
+
+    def test_names_resolved(self, kg):
+        tree = to_tree(Projection(0, Entity(0)), kg)
+        assert "won_by" in tree
+        assert "oscar" in tree
+
+    def test_every_node_rendered(self):
+        query = Difference((Union((Entity(0), Entity(1))),
+                            Negation(Projection(0, Entity(2)))))
+        tree = to_tree(query)
+        for token in ("difference", "union", "negation", "projection",
+                      "entity e0", "entity e1", "entity e2"):
+            assert token in tree

@@ -1,0 +1,105 @@
+"""Tests for backward grounding and the query workload builder."""
+
+import numpy as np
+import pytest
+
+from repro.kg import fb237_mini
+from repro.queries import (STRUCTURES, GroundedQuery, QuerySampler,
+                           SamplerConfig, batches, build_workloads, execute,
+                           get_structure)
+
+
+@pytest.fixture(scope="module")
+def splits():
+    return fb237_mini(scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def train_sampler(splits):
+    return QuerySampler(splits.train, seed=0)
+
+
+class TestSample:
+    @pytest.mark.parametrize("name", sorted(STRUCTURES))
+    def test_all_structures_groundable(self, train_sampler, name):
+        grounded = train_sampler.sample(get_structure(name))
+        assert grounded.structure == name
+        assert grounded.easy_answers
+
+    def test_answers_match_executor(self, splits, train_sampler):
+        grounded = train_sampler.sample(get_structure("2i"))
+        assert set(grounded.easy_answers) == execute(grounded.query, splits.train)
+
+    def test_train_sampler_has_no_hard_answers(self, train_sampler):
+        grounded = train_sampler.sample(get_structure("2p"))
+        assert not grounded.hard_answers
+
+    def test_eval_sampler_produces_hard_answers(self, splits):
+        sampler = QuerySampler(splits.valid, splits.test, seed=1,
+                               config=SamplerConfig(require_hard_answer=True))
+        grounded = sampler.sample(get_structure("1p"))
+        assert grounded.hard_answers
+        assert not grounded.hard_answers & grounded.easy_answers
+
+    def test_answer_cap_respected(self, splits):
+        sampler = QuerySampler(splits.train, seed=2,
+                               config=SamplerConfig(max_answer_fraction=0.1))
+        grounded = sampler.sample(get_structure("2in"))
+        assert len(grounded.all_answers) <= 0.1 * splits.train.num_entities
+
+    def test_observed_must_be_subgraph(self, splits):
+        with pytest.raises(ValueError):
+            QuerySampler(splits.test, splits.train)
+
+    def test_deterministic_given_seed(self, splits):
+        a = QuerySampler(splits.train, seed=9).sample(get_structure("2p"))
+        b = QuerySampler(splits.train, seed=9).sample(get_structure("2p"))
+        assert a.query == b.query
+
+
+class TestSampleMany:
+    def test_dedupe(self, train_sampler):
+        queries = train_sampler.sample_many(get_structure("1p"), 20)
+        assert len({q.query for q in queries}) == len(queries)
+
+    def test_count_respected(self, train_sampler):
+        queries = train_sampler.sample_many(get_structure("2i"), 10)
+        assert 1 <= len(queries) <= 10
+
+
+class TestWorkloads:
+    def test_build_workloads_protocol(self, splits):
+        bundle = build_workloads(splits, queries_per_structure=5,
+                                 eval_queries_per_structure=3, seed=0)
+        # zero-shot structures are absent from training
+        for name in ("ip", "pi", "2u", "up", "dp"):
+            assert name not in bundle.train
+            assert name in bundle.test
+        # every test query has at least one hard answer
+        for query in bundle.test:
+            assert query.hard_answers
+
+    def test_workload_iteration_and_total(self, splits):
+        bundle = build_workloads(splits, queries_per_structure=4,
+                                 eval_queries_per_structure=2, seed=1)
+        assert bundle.train.total() == sum(1 for _ in bundle.train)
+
+    def test_batches_partition(self):
+        queries = [GroundedQuery("1p", None, frozenset({i}), frozenset())
+                   for i in range(10)]
+        got = list(batches(queries, 3, shuffle=False))
+        assert [len(b) for b in got] == [3, 3, 3, 1]
+        flat = [q for batch in got for q in batch]
+        assert flat == queries
+
+    def test_batches_shuffle_deterministic_with_rng(self):
+        queries = [GroundedQuery("1p", None, frozenset({i}), frozenset())
+                   for i in range(10)]
+        a = list(batches(queries, 4, rng=np.random.default_rng(0)))
+        b = list(batches(queries, 4, rng=np.random.default_rng(0)))
+        assert [[q.easy_answers for q in batch] for batch in a] == \
+               [[q.easy_answers for q in batch] for batch in b]
+
+    def test_batches_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(batches([], 0))

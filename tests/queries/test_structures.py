@@ -1,0 +1,89 @@
+"""Tests for the query-structure registry."""
+
+import pytest
+
+from repro.queries import (DIFFERENCE_STRUCTURES, EPFO_STRUCTURES,
+                           EVAL_ONLY_STRUCTURES, LARGE_STRUCTURES,
+                           NEGATION_STRUCTURES, QUERY_SIZE_STRUCTURES,
+                           STRUCTURES, TRAIN_STRUCTURES, Difference,
+                           Intersection, Negation, Projection, QueryStructure,
+                           Union, Entity, get_structure, iter_nodes)
+
+
+class TestRegistry:
+    def test_sixteen_basic_structures_present(self):
+        basic = {"1p", "2p", "3p", "2i", "3i", "ip", "pi", "2u", "up",
+                 "2d", "3d", "dp", "2in", "3in", "pin", "pni"}
+        assert basic <= set(STRUCTURES)
+
+    def test_large_structures_present(self):
+        assert set(LARGE_STRUCTURES) <= set(STRUCTURES)
+
+    def test_get_structure_unknown(self):
+        with pytest.raises(KeyError):
+            get_structure("42p")
+
+    def test_train_eval_split_disjoint(self):
+        assert not set(TRAIN_STRUCTURES) & set(EVAL_ONLY_STRUCTURES)
+
+    def test_groups_are_consistent(self):
+        assert set(EPFO_STRUCTURES) <= set(STRUCTURES)
+        assert set(DIFFERENCE_STRUCTURES) <= set(STRUCTURES)
+        assert set(NEGATION_STRUCTURES) <= set(STRUCTURES)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name,size", [
+        ("1p", 1), ("2p", 2), ("3p", 3), ("2i", 2), ("3i", 3),
+        ("ip", 3), ("pi", 3), ("2u", 2), ("up", 3),
+        ("2d", 2), ("3d", 3), ("dp", 3),
+        ("2in", 2), ("3in", 3), ("pin", 3), ("pni", 3),
+    ])
+    def test_basic_structure_sizes(self, name, size):
+        assert get_structure(name).size == size
+
+    def test_query_size_table_vi_progression(self):
+        # Table VI uses one structure per query size 1..5.
+        sizes = [get_structure(n).size for n in QUERY_SIZE_STRUCTURES]
+        assert sizes == [1, 2, 3, 4, 5]
+
+    @pytest.mark.parametrize("name", ["2d", "3d", "dp", "2ippd", "3ippd"])
+    def test_difference_structures_contain_difference(self, name):
+        nodes = list(iter_nodes(get_structure(name).template))
+        assert any(isinstance(n, Difference) for n in nodes)
+
+    @pytest.mark.parametrize("name", NEGATION_STRUCTURES)
+    def test_negation_structures_contain_negation(self, name):
+        nodes = list(iter_nodes(get_structure(name).template))
+        assert any(isinstance(n, Negation) for n in nodes)
+
+    @pytest.mark.parametrize("name", ["2u", "up", "2ippu", "3ippu"])
+    def test_union_structures_contain_union(self, name):
+        nodes = list(iter_nodes(get_structure(name).template))
+        assert any(isinstance(n, Union) for n in nodes)
+
+    def test_anchor_slots_are_dense(self):
+        for structure in STRUCTURES.values():
+            anchor_ids = sorted(n.entity for n in iter_nodes(structure.template)
+                                if isinstance(n, Entity))
+            assert anchor_ids == list(range(structure.num_anchors))
+
+    def test_relation_slots_are_dense(self):
+        for structure in STRUCTURES.values():
+            rel_ids = sorted(n.relation for n in iter_nodes(structure.template)
+                             if isinstance(n, Projection))
+            assert rel_ids == list(range(structure.num_relations))
+
+
+class TestValidation:
+    def test_rejects_repeated_anchor_slot(self):
+        template = Intersection((Projection(0, Entity(0)),
+                                 Projection(1, Entity(0))))
+        with pytest.raises(ValueError):
+            QueryStructure("bad", template)
+
+    def test_rejects_repeated_relation_slot(self):
+        template = Intersection((Projection(0, Entity(0)),
+                                 Projection(0, Entity(1))))
+        with pytest.raises(ValueError):
+            QueryStructure("bad", template)

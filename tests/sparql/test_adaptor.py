@@ -1,0 +1,102 @@
+"""Tests for the SPARQL → logical-operator Adaptor."""
+
+import pytest
+
+from repro.kg import KnowledgeGraph
+from repro.queries import (Difference, Entity, Intersection, Negation,
+                           Projection, Union, execute)
+from repro.sparql import Adaptor, UnsupportedPatternError, parse_sparql
+
+
+@pytest.fixture
+def kg() -> KnowledgeGraph:
+    return KnowledgeGraph(
+        5, 3,
+        [(0, 0, 1), (1, 1, 2), (1, 1, 3), (0, 2, 3), (2, 1, 4)],
+        entity_names=["oscar", "spielberg", "jaws", "et", "duel"],
+        relation_names=["winner", "directed", "produced"])
+
+
+@pytest.fixture
+def adaptor(kg) -> Adaptor:
+    return Adaptor(kg)
+
+
+def adapt(adaptor, text):
+    return adaptor.to_computation_graph(parse_sparql(text))
+
+
+class TestBasicMapping:
+    def test_single_triple_is_projection(self, adaptor):
+        node = adapt(adaptor, "SELECT ?x WHERE { oscar winner ?x . }")
+        assert node == Projection(0, Entity(0))
+
+    def test_chain_is_nested_projection(self, adaptor):
+        node = adapt(adaptor,
+                     "SELECT ?f WHERE { oscar winner ?d . ?d directed ?f . }")
+        assert node == Projection(1, Projection(0, Entity(0)))
+
+    def test_shared_variable_is_intersection(self, adaptor):
+        node = adapt(adaptor,
+                     "SELECT ?f WHERE { spielberg directed ?f . "
+                     "oscar produced ?f . }")
+        assert isinstance(node, Intersection)
+        assert len(node.operands) == 2
+
+    def test_union_maps_to_union(self, adaptor):
+        node = adapt(adaptor,
+                     "SELECT ?x WHERE { { oscar winner ?x } UNION "
+                     "{ spielberg directed ?x } }")
+        assert isinstance(node, Union)
+
+    def test_not_exists_maps_to_negation(self, adaptor):
+        node = adapt(adaptor,
+                     "SELECT ?x WHERE { spielberg directed ?x . "
+                     "FILTER NOT EXISTS { oscar produced ?x } }")
+        assert isinstance(node, Intersection)
+        assert any(isinstance(op, Negation) for op in node.operands)
+
+    def test_minus_maps_to_difference(self, adaptor):
+        node = adapt(adaptor,
+                     "SELECT ?x WHERE { spielberg directed ?x . "
+                     "MINUS { oscar produced ?x } }")
+        assert isinstance(node, Difference)
+
+    def test_adapted_graph_executes_correctly(self, adaptor, kg):
+        node = adapt(adaptor,
+                     "SELECT ?x WHERE { spielberg directed ?x . "
+                     "MINUS { oscar produced ?x } }")
+        assert execute(node, kg) == {2}  # jaws (et is subtracted)
+
+
+class TestInverseOrientation:
+    def test_subject_variable_without_inverse_rejected(self, adaptor):
+        with pytest.raises(UnsupportedPatternError, match="no inverse"):
+            adapt(adaptor, "SELECT ?d WHERE { ?d directed jaws . }")
+
+    def test_subject_variable_with_inverse_rewrites(self, kg):
+        # declare relation 2 ("produced") as the inverse of "directed"
+        adaptor = Adaptor(kg, inverse_relations={1: 2})
+        node = adapt(adaptor, "SELECT ?d WHERE { ?d directed jaws . }")
+        assert node == Projection(2, Entity(2))
+
+
+class TestErrors:
+    def test_unknown_entity(self, adaptor):
+        with pytest.raises(UnsupportedPatternError, match="unknown entity"):
+            adapt(adaptor, "SELECT ?x WHERE { nolan directed ?x . }")
+
+    def test_unknown_relation(self, adaptor):
+        with pytest.raises(UnsupportedPatternError, match="unknown relation"):
+            adapt(adaptor, "SELECT ?x WHERE { oscar knighted ?x . }")
+
+    def test_unbound_variable(self, adaptor):
+        with pytest.raises(UnsupportedPatternError, match="no positive"):
+            adapt(adaptor, "SELECT ?x WHERE { oscar winner ?y . }")
+
+    def test_cyclic_pattern_rejected(self, kg):
+        # a cycle leaves the inner variable with no usable binding
+        adaptor = Adaptor(kg, inverse_relations={0: 0, 1: 1})
+        with pytest.raises(UnsupportedPatternError):
+            adapt(adaptor,
+                  "SELECT ?x WHERE { ?y winner ?x . ?x winner ?y . }")

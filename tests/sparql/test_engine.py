@@ -1,0 +1,63 @@
+"""Tests for the end-to-end SPARQL engine (both executors)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import HalkModel
+from repro.kg import KnowledgeGraph
+from repro.sparql import SparqlEngine
+
+
+@pytest.fixture
+def kg() -> KnowledgeGraph:
+    return KnowledgeGraph(
+        5, 3,
+        [(0, 0, 1), (1, 1, 2), (1, 1, 3), (0, 2, 3), (2, 1, 4)],
+        entity_names=["oscar", "spielberg", "jaws", "et", "duel"],
+        relation_names=["winner", "directed", "produced"])
+
+
+@pytest.fixture
+def engine(kg) -> SparqlEngine:
+    return SparqlEngine(kg)
+
+
+class TestExactExecutor:
+    def test_simple_chain(self, engine):
+        result = engine.answer_exact(
+            "SELECT ?f WHERE { oscar winner ?d . ?d directed ?f . }")
+        assert set(result.entity_names) == {"jaws", "et"}
+
+    def test_minus(self, engine):
+        result = engine.answer_exact(
+            "SELECT ?f WHERE { spielberg directed ?f . "
+            "MINUS { oscar produced ?f } }")
+        assert result.entity_names == ["jaws"]
+
+    def test_union(self, engine):
+        result = engine.answer_exact(
+            "SELECT ?x WHERE { { oscar winner ?x } UNION "
+            "{ oscar produced ?x } }")
+        assert set(result.entity_names) == {"spielberg", "et"}
+
+    def test_result_len(self, engine):
+        result = engine.answer_exact("SELECT ?x WHERE { oscar winner ?x }")
+        assert len(result) == 1
+
+    def test_computation_graph_attached(self, engine):
+        result = engine.answer_exact("SELECT ?x WHERE { oscar winner ?x }")
+        assert result.computation_graph is not None
+
+
+class TestEmbeddingExecutor:
+    def test_requires_model(self, engine):
+        with pytest.raises(RuntimeError, match="model"):
+            engine.answer("SELECT ?x WHERE { oscar winner ?x }")
+
+    def test_returns_top_k(self, kg):
+        model = HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12))
+        engine = SparqlEngine(kg, model=model)
+        result = engine.answer("SELECT ?x WHERE { oscar winner ?x }", top_k=3)
+        assert len(result.entity_ids) == 3
+        assert all(name in kg.entity_names for name in result.entity_names)

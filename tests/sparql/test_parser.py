@@ -1,0 +1,105 @@
+"""Tests for the SPARQL subset parser."""
+
+import pytest
+
+from repro.sparql import SparqlSyntaxError, parse_sparql
+
+
+class TestBasicParsing:
+    def test_single_triple(self):
+        query = parse_sparql("SELECT ?x WHERE { Oscar winner ?x . }")
+        assert query.variable == "?x"
+        assert len(query.where.triples) == 1
+        triple = query.where.triples[0]
+        assert (triple.subject, triple.predicate, triple.object) == \
+            ("Oscar", "winner", "?x")
+
+    def test_multiple_triples(self):
+        query = parse_sparql("""
+            SELECT ?f WHERE {
+                Oscar winner ?d .
+                ?d directed ?f .
+            }
+        """)
+        assert len(query.where.triples) == 2
+
+    def test_trailing_dot_optional(self):
+        query = parse_sparql("SELECT ?x WHERE { A r ?x }")
+        assert len(query.where.triples) == 1
+
+    def test_case_insensitive_keywords(self):
+        query = parse_sparql("select ?x where { A r ?x . }")
+        assert query.variable == "?x"
+
+    def test_variables_collected(self):
+        query = parse_sparql("SELECT ?f WHERE { Oscar winner ?d . ?d directed ?f . }")
+        assert query.where.variables() == {"?d", "?f"}
+
+
+class TestSetOperators:
+    def test_filter_not_exists(self):
+        query = parse_sparql("""
+            SELECT ?x WHERE {
+                A r ?x .
+                FILTER NOT EXISTS { B s ?x . }
+            }
+        """)
+        assert len(query.where.not_exists) == 1
+        assert len(query.where.not_exists[0].group.triples) == 1
+
+    def test_minus(self):
+        query = parse_sparql("""
+            SELECT ?x WHERE { A r ?x . MINUS { B s ?x . } }
+        """)
+        assert len(query.where.minus) == 1
+
+    def test_union(self):
+        query = parse_sparql("""
+            SELECT ?x WHERE { { A r ?x . } UNION { B s ?x . } }
+        """)
+        assert len(query.where.unions) == 1
+        assert len(query.where.unions[0].groups) == 2
+
+    def test_three_way_union(self):
+        query = parse_sparql("""
+            SELECT ?x WHERE { { A r ?x } UNION { B s ?x } UNION { C t ?x } }
+        """)
+        assert len(query.where.unions[0].groups) == 3
+
+    def test_nested_filter_inside_union(self):
+        query = parse_sparql("""
+            SELECT ?x WHERE {
+                { A r ?x . FILTER NOT EXISTS { B s ?x } } UNION { C t ?x }
+            }
+        """)
+        assert len(query.where.unions[0].groups[0].not_exists) == 1
+
+
+class TestErrors:
+    def test_missing_select(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("WHERE { A r ?x }")
+
+    def test_select_needs_variable(self):
+        with pytest.raises(SparqlSyntaxError, match="variable"):
+            parse_sparql("SELECT x WHERE { A r ?x }")
+
+    def test_unclosed_brace(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?x WHERE { A r ?x")
+
+    def test_lone_group_without_union(self):
+        with pytest.raises(SparqlSyntaxError, match="UNION"):
+            parse_sparql("SELECT ?x WHERE { { A r ?x } }")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?x WHERE { A r ?x } extra")
+
+    def test_keyword_as_predicate(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?x WHERE { A union ?x }")
+
+    def test_garbage_characters(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?x WHERE { A r ?x ! }")

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "FB237"
+        assert args.method == "HaLk"
+        assert args.epochs == 150
+
+    def test_answer_requires_sparql(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["answer"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--method", "TransE"])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        for name in ("FB15k", "FB237", "NELL"):
+            assert name in out
+
+    def test_train_evaluate_answer_roundtrip(self, tmp_path, capsys):
+        common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)]
+        assert main(["train", *common, "--epochs", "3",
+                     "--queries", "10"]) == 0
+        saved = list(tmp_path.glob("*.npz"))
+        assert len(saved) == 1
+        meta = json.loads(next(tmp_path.glob("*.json")).read_text())
+        assert meta["method"] == "HaLk"
+
+        assert main(["evaluate", *common, "--queries", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "MRR" in out and "average" in out
+
+    def test_answer_with_trained_model(self, tmp_path, capsys):
+        from repro.kg import load_dataset
+        common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)]
+        main(["train", *common, "--epochs", "2", "--queries", "5"])
+        capsys.readouterr()
+        splits = load_dataset("FB237", scale=0.3, seed=0)
+        head, rel, _ = sorted(splits.train.triples)[0]
+        sparql = (f"SELECT ?x WHERE {{ {splits.train.entity_names[head]} "
+                  f"{splits.train.relation_names[rel]} ?x }}")
+        assert main(["answer", *common, "--sparql", sparql,
+                     "--top-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "computation graph" in out
+
+    def test_evaluate_without_model_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trained model"):
+            main(["evaluate", "--dataset", "FB237", "--method", "HaLk",
+                  "--dim", "8", "--scale", "0.3",
+                  "--model-dir", str(tmp_path)])
+
+    def test_dim_mismatch_detected(self, tmp_path):
+        common = ["--dataset", "FB237", "--dim", "8", "--scale", "0.3",
+                  "--model-dir", str(tmp_path)]
+        main(["train", *common, "--epochs", "2", "--queries", "5"])
+        with pytest.raises(SystemExit, match="different"):
+            main(["evaluate", "--dataset", "FB237", "--dim", "16",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)])
+
+    def test_baseline_method_trains(self, tmp_path):
+        assert main(["train", "--dataset", "FB237", "--method", "NewLook",
+                     "--dim", "8", "--scale", "0.3",
+                     "--model-dir", str(tmp_path), "--epochs", "2",
+                     "--queries", "5"]) == 0

@@ -1,0 +1,75 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import ModelConfig, TrainConfig
+
+
+class TestModelConfig:
+    def test_defaults_valid(self):
+        config = ModelConfig()
+        assert config.embedding_dim > 0
+        assert 0 < config.eta < 1
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ModelConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            ModelConfig(hidden_dim=-1)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            ModelConfig(radius=0.0)
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ValueError):
+            ModelConfig(eta=0.0)
+        with pytest.raises(ValueError):
+            ModelConfig(eta=1.5)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            ModelConfig(gamma=-1.0)
+
+    def test_with_replaces_fields(self):
+        config = ModelConfig().with_(embedding_dim=64)
+        assert config.embedding_dim == 64
+        assert config.hidden_dim == ModelConfig().hidden_dim
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            ModelConfig().with_(eta=2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ModelConfig().embedding_dim = 5
+
+
+class TestTrainConfig:
+    def test_defaults_valid(self):
+        config = TrainConfig()
+        assert config.epochs > 0
+
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=0)
+
+    def test_rejects_bad_negatives(self):
+        with pytest.raises(ValueError):
+            TrainConfig(num_negatives=0)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            TrainConfig(learning_rate=0.0)
+
+    def test_embedding_lr_optional(self):
+        assert TrainConfig().embedding_learning_rate is None
+        assert TrainConfig(embedding_learning_rate=0.1).embedding_learning_rate == 0.1
+
+    def test_with_replaces_fields(self):
+        config = TrainConfig().with_(epochs=5)
+        assert config.epochs == 5
