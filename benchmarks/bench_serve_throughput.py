@@ -1,0 +1,90 @@
+"""Serving throughput: sequential vs micro-batched vs cached.
+
+Measures queries/sec on the FB237 quick workload through three paths:
+
+* **sequential** — the pre-serving baseline, one ``QueryModel.answer``
+  call per query (embed + rank-all per query);
+* **batched** — the same queries through :class:`repro.serve.ServeRuntime`,
+  which coalesces them into ``embed_batch``/``distance_to_all`` passes;
+* **cached** — a second pass over the same workload, served from the
+  answer cache.
+
+The batched path must clear 3× the sequential throughput (the number the
+serving subsystem exists to deliver); the cached pass must beat batched.
+
+The workload mixes shallow chains with the multi-hop/intersection
+structures HaLk targets.  Batching amortises the per-query *embedding*
+cost (the operator-tree walk), not the element-wise ranking pass, so the
+win grows with query depth: ~1.5× on bare ``2p`` chains, 7–8× on ``3i``
+and ``3ippd``.
+
+Run::
+
+    pytest benchmarks/bench_serve_throughput.py --benchmark-only -s
+"""
+
+import time
+
+import pytest
+
+from repro.queries import QuerySampler, get_structure
+from repro.serve import ServeConfig, ServeRuntime, format_snapshot
+
+from common import shared_context
+
+STRUCTURES = ("2p", "2i", "3i", "pi", "2ipp", "3ippd")
+QUERIES_PER_STRUCTURE = 20
+
+
+def _workload(context):
+    splits = context.splits("FB237")
+    sampler = QuerySampler(splits.train, splits.test, seed=7)
+    return [sampler.sample(get_structure(name)).query
+            for name in STRUCTURES for _ in range(QUERIES_PER_STRUCTURE)]
+
+
+def _measure(context):
+    model = context.model("FB237", "HaLk")
+    queries = _workload(context)
+    top_k = 10
+
+    start = time.perf_counter()
+    for query in queries:
+        model.answer(query, top_k=top_k)
+    sequential = len(queries) / (time.perf_counter() - start)
+
+    config = ServeConfig(max_batch_size=64, flush_timeout=0.002,
+                         num_workers=2)
+    with ServeRuntime(model, kg=context.splits("FB237").train,
+                      config=config) as runtime:
+        start = time.perf_counter()
+        runtime.answer_batch(queries, top_k=top_k)
+        batched = len(queries) / (time.perf_counter() - start)
+
+        start = time.perf_counter()
+        results = runtime.answer_batch(queries, top_k=top_k)
+        cached = len(queries) / (time.perf_counter() - start)
+        snapshot = runtime.stats()
+
+    assert all(r.source == "answer_cache" for r in results)
+    return {"sequential": sequential, "batched": batched,
+            "cached": cached, "snapshot": snapshot,
+            "queries": len(queries)}
+
+
+def test_bench_serve_throughput(benchmark):
+    """Batched serving must be ≥ 3× the sequential answer loop."""
+    context = shared_context()
+    out = benchmark.pedantic(_measure, args=(context,),
+                             rounds=1, iterations=1)
+    print()
+    print(f"serving throughput, FB237 quick workload "
+          f"({out['queries']} queries):")
+    for path in ("sequential", "batched", "cached"):
+        speedup = out[path] / out["sequential"]
+        print(f"  {path:<10} {out[path]:>10,.0f} q/s  ({speedup:>6.1f}x)")
+    print(format_snapshot(out["snapshot"], title="serve stats"))
+    assert out["batched"] >= 3.0 * out["sequential"], \
+        "micro-batching should amortise the per-query embed/rank cost"
+    assert out["cached"] >= out["batched"], \
+        "the answer cache should beat recomputation"

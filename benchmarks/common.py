@@ -150,9 +150,10 @@ class ExperimentContext:
         splits = self.pruning_splits()
         model = HalkModel(splits.train, self.profile.model)
         weights_path, meta_path = self._cache_paths("NELL-pruning", "HaLk")
-        if weights_path.exists() and meta_path.exists():
-            model.load_state_dict(dict(np.load(weights_path)))
-            meta = json.loads(meta_path.read_text())
+        cached = self._load_cached(weights_path, meta_path)
+        if cached is not None:
+            state, meta = cached
+            model.load_state_dict(state)
             self._train_seconds[key] = meta["train_seconds"]
         else:
             bundle = build_workloads(
@@ -174,6 +175,21 @@ class ExperimentContext:
         stem = f"{self.profile.name}_{dataset}_{method}".replace("/", "_")
         return (CACHE_DIR / f"{stem}.npz", CACHE_DIR / f"{stem}.json")
 
+    @staticmethod
+    def _load_cached(weights_path, meta_path):
+        """State dict + meta from disk, or None when absent/corrupt.
+
+        A truncated npz (interrupted run, bad snapshot) must degrade to
+        retraining, not crash the whole harness.
+        """
+        if not (weights_path.exists() and meta_path.exists()):
+            return None
+        try:
+            return (dict(np.load(weights_path)),
+                    json.loads(meta_path.read_text()))
+        except Exception:
+            return None
+
     def model(self, dataset: str, method: str) -> QueryModel:
         """A trained model, loaded from the disk cache when available."""
         key = (dataset, method)
@@ -181,10 +197,10 @@ class ExperimentContext:
             return self._models[key]
         model = METHODS[method](self.splits(dataset).train, self.profile.model)
         weights_path, meta_path = self._cache_paths(dataset, method)
-        if weights_path.exists() and meta_path.exists():
-            state = dict(np.load(weights_path))
+        cached = self._load_cached(weights_path, meta_path)
+        if cached is not None:
+            state, meta = cached
             model.load_state_dict(state)
-            meta = json.loads(meta_path.read_text())
             self._train_seconds[key] = meta["train_seconds"]
         else:
             workload = self.supported_workload(model,

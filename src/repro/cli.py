@@ -6,9 +6,13 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli train --dataset FB237 --method HaLk --epochs 100
     python -m repro.cli evaluate --dataset FB237 --method HaLk
     python -m repro.cli answer --dataset FB237 --sparql "SELECT ?x WHERE { e12 rotation_0 ?x }"
+    python -m repro.cli serve --dataset FB237 --train-if-missing --stats
 
 ``train`` persists model weights under ``--model-dir`` (default
-``./models``); ``evaluate`` and ``answer`` reload them.
+``./models``); ``evaluate``, ``answer`` and ``serve`` reload them.
+``serve`` drives the batched/cached runtime in ``repro.serve`` over a
+workload and reports throughput, cache hit rates, and latency
+percentiles.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 
 import numpy as np
 
@@ -62,9 +67,11 @@ def cmd_datasets(args) -> int:
     return 0
 
 
-def cmd_train(args) -> int:
+def _train_and_save(args, epochs: int, queries: int, lr: float = 2e-3,
+                    embedding_lr: float = 2e-2):
+    """Train a model with the given budget and persist it under model-dir."""
     splits = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    bundle = build_workloads(splits, queries_per_structure=args.queries,
+    bundle = build_workloads(splits, queries_per_structure=queries,
                              eval_queries_per_structure=10, seed=args.seed)
     model = _build_model(args, splits.train)
     from .baselines import UnsupportedOperatorError
@@ -77,11 +84,11 @@ def cmd_train(args) -> int:
         except UnsupportedOperatorError:
             continue
     trainer = Trainer(model, workload,
-                      TrainConfig(epochs=args.epochs, batch_size=128,
-                                  num_negatives=16, learning_rate=args.lr,
-                                  embedding_learning_rate=args.embedding_lr,
+                      TrainConfig(epochs=epochs, batch_size=128,
+                                  num_negatives=16, learning_rate=lr,
+                                  embedding_learning_rate=embedding_lr,
                                   seed=args.seed,
-                                  log_every=max(1, args.epochs // 10)))
+                                  log_every=max(1, epochs // 10)))
     history = trainer.train()
     model_dir = pathlib.Path(args.model_dir)
     model_dir.mkdir(parents=True, exist_ok=True)
@@ -92,6 +99,15 @@ def cmd_train(args) -> int:
         "seed": args.seed, "scale": args.scale,
         "train_seconds": history.seconds,
         "final_loss": history.final_loss}))
+    return splits, model, history
+
+
+def cmd_train(args) -> int:
+    _, _, history = _train_and_save(args, epochs=args.epochs,
+                                    queries=args.queries, lr=args.lr,
+                                    embedding_lr=args.embedding_lr)
+    weights, _ = _model_paths(pathlib.Path(args.model_dir), args.dataset,
+                              args.method)
     print(f"saved {weights} ({history.seconds:.1f}s, "
           f"loss {history.final_loss:.4f})")
     return 0
@@ -106,6 +122,13 @@ def _load_trained(args):
         raise SystemExit(f"no trained model at {weights}; run "
                          f"`python -m repro.cli train` first")
     saved = json.loads(meta.read_text())
+    for field, expected in (("dataset", args.dataset),
+                            ("method", args.method)):
+        if field in saved and saved[field] != expected:
+            raise SystemExit(
+                f"saved model at {weights} was trained with "
+                f"{field}={saved[field]!r}, not {expected!r}; pass a "
+                f"matching --{field} or retrain")
     if saved.get("dim") != args.dim or saved.get("scale") != args.scale:
         raise SystemExit("saved model was trained with different "
                          "--dim/--scale; pass matching flags")
@@ -149,6 +172,61 @@ def cmd_answer(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .ann import LshIndex
+    from .queries import QuerySampler, get_structure
+    from .serve import (ServeClient, ServeConfig, ServeRuntime,
+                        format_snapshot)
+
+    weights, _ = _model_paths(pathlib.Path(args.model_dir), args.dataset,
+                              args.method)
+    if not weights.exists() and args.train_if_missing:
+        print(f"no trained model at {weights}; training a quick one "
+              f"({args.train_epochs} epochs)")
+        _train_and_save(args, epochs=args.train_epochs,
+                        queries=args.train_queries)
+    splits, model = _load_trained(args)
+    engine = SparqlEngine(splits.train, model=model)
+    index = None
+    if getattr(model, "entity_points", None) is not None:
+        points = np.mod(model.entity_points.weight.data, 2.0 * np.pi)
+        index = LshIndex(points, seed=args.seed)
+    config = ServeConfig(max_batch_size=args.batch_size,
+                         flush_timeout=args.flush_timeout,
+                         num_workers=args.workers,
+                         answer_ttl=args.answer_ttl,
+                         default_deadline=args.deadline)
+    with ServeRuntime(model, kg=splits.train, index=index,
+                      config=config) as runtime:
+        client = ServeClient(runtime, engine)
+        if args.sparql:
+            queries = list(args.sparql)
+        else:
+            sampler = QuerySampler(splits.train, splits.test,
+                                   seed=args.seed)
+            per_structure = max(1, args.queries // 3)
+            queries = [sampler.sample(get_structure(name)).query
+                       for name in ("1p", "2p", "2i")
+                       for _ in range(per_structure)]
+        results = []
+        for round_index in range(args.repeat):
+            start = time.perf_counter()
+            results = client.answer_many(queries, top_k=args.top_k)
+            elapsed = max(time.perf_counter() - start, 1e-9)
+            sources: dict[str, int] = {}
+            for result in results:
+                sources[result.source] = sources.get(result.source, 0) + 1
+            print(f"pass {round_index + 1}: {len(results)} queries in "
+                  f"{elapsed:.3f}s ({len(results) / elapsed:,.0f} q/s) "
+                  f"sources={sources}")
+        sample = results[0]
+        names = client.entity_names(sample)[:5]
+        print(f"sample answer [{sample.source}]: {', '.join(names)}")
+        if args.stats:
+            print(format_snapshot(client.stats()))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HaLk reproduction command line")
@@ -188,6 +266,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sparql", required=True)
     p.add_argument("--top-k", type=int, default=10)
     p.set_defaults(func=cmd_answer)
+
+    p = sub.add_parser("serve",
+                       help="drive the batched serving runtime")
+    common(p)
+    p.add_argument("--queries", type=int, default=120,
+                   help="demo workload size (ignored with --sparql)")
+    p.add_argument("--sparql", action="append",
+                   help="serve this SPARQL query (repeatable) instead of "
+                        "the sampled demo workload")
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--repeat", type=int, default=3,
+                   help="passes over the workload; later passes exercise "
+                        "the answer cache")
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--flush-timeout", type=float, default=0.002,
+                   help="micro-batcher flush window in seconds")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--answer-ttl", type=float, default=300.0)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds (overruns fall "
+                        "back to the LSH/exact paths)")
+    p.add_argument("--stats", action="store_true",
+                   help="print cache hit-rate and latency-percentile "
+                        "stats after serving")
+    p.add_argument("--train-if-missing", action="store_true",
+                   help="train a quick model first when none is saved")
+    p.add_argument("--train-epochs", type=int, default=30)
+    p.add_argument("--train-queries", type=int, default=50)
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -24,13 +24,30 @@ from ..kg.groups import GroupAssignment
 from ..nn import Embedding, F, Module, Tensor, no_grad
 from ..queries.computation_graph import (Difference, Entity, Intersection,
                                          Negation, Node, Projection, Union,
-                                         to_dnf)
+                                         structure_signature, to_dnf)
 from .arc import TWO_PI, Arc
 from .distance import distance_to_points
 from .operators import (DifferenceOperator, IntersectionOperator,
                         NegationOperator, ProjectionOperator)
 
-__all__ = ["QueryModel", "HalkModel", "HalkQueryEmbedding"]
+__all__ = ["QueryModel", "HalkModel", "HalkQueryEmbedding", "topk_rows"]
+
+
+def topk_rows(distances: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest entries per row, sorted ascending.
+
+    ``argpartition`` + a small ``argsort`` over the partition instead of a
+    full-row ``argsort`` — the difference matters when ranking all N
+    entities for every query in a served batch.
+    """
+    n = distances.shape[-1]
+    k = min(k, n)
+    if k >= n:
+        return np.argsort(distances, axis=-1)
+    part = np.argpartition(distances, k - 1, axis=-1)[..., :k]
+    vals = np.take_along_axis(distances, part, axis=-1)
+    order = np.argsort(vals, axis=-1)
+    return np.take_along_axis(part, order, axis=-1)
 
 
 class QueryModel(Module):
@@ -114,8 +131,52 @@ class QueryModel(Module):
 
     def answer(self, query: Node, top_k: int = 10) -> list[int]:
         """Top-k candidate answers for a single query."""
-        distances = self.rank_all_entities([query])[0]
-        return [int(entity) for entity in np.argsort(distances)[:top_k]]
+        return self.answer_batch([query], top_k=top_k)[0]
+
+    def answer_batch(self, queries: list[Node], top_k: int = 10,
+                     batch_size: int = 64) -> list[list[int]]:
+        """Top-k answers for many queries, in input order.
+
+        Unlike :meth:`rank_all_entities`, the queries may mix structures:
+        they are grouped by :func:`structure_signature` so every
+        ``embed_batch`` call still sees one structure, and each group pays
+        the embedding + distance matmuls once instead of per query.
+        """
+        groups: dict[str, list[int]] = {}
+        for position, query in enumerate(queries):
+            groups.setdefault(structure_signature(query), []).append(position)
+        out: list[list[int]] = [[] for _ in queries]
+        with no_grad():
+            for positions in groups.values():
+                for start in range(0, len(positions), batch_size):
+                    chunk = positions[start:start + batch_size]
+                    embedding = self.embed_batch([queries[i] for i in chunk])
+                    distances = self.distance_to_all(embedding).data
+                    top = topk_rows(distances, top_k)
+                    for row, position in enumerate(chunk):
+                        out[position] = [int(e) for e in top[row]]
+        return out
+
+    # ------------------------------------------------------------------
+    # optional hooks used by the serving runtime (repro.serve)
+    # ------------------------------------------------------------------
+    def slice_embedding(self, embedding, index: int):
+        """Single-query view of row ``index`` of a batch embedding.
+
+        Models that support it return an embedding equivalent to
+        ``embed_batch([queries[index]])``; the serving layer uses this to
+        keep a per-query embedding LRU.  Default: unsupported (None).
+        """
+        return None
+
+    def query_points(self, embedding) -> list[np.ndarray] | None:
+        """Representative circle points of a query embedding.
+
+        One ``(B, d)`` angle array per DNF branch, usable as probes for an
+        :class:`repro.ann.LshIndex`; None when the model has no point
+        geometry.
+        """
+        return None
 
 
 @dataclass
@@ -256,6 +317,20 @@ class HalkModel(QueryModel):
             dist = distance_to_points(arc, points, self.config.eta)
             best = dist if best is None else F.minimum(best, dist)
         return best
+
+    # ------------------------------------------------------------------
+    # serving hooks
+    # ------------------------------------------------------------------
+    def slice_embedding(self, embedding: HalkQueryEmbedding,
+                        index: int) -> HalkQueryEmbedding:
+        branches = [Arc(arc.center[index:index + 1].detach(),
+                        arc.length[index:index + 1].detach(), arc.radius)
+                    for arc in embedding.branches]
+        return HalkQueryEmbedding(branches,
+                                  embedding.signature[index:index + 1].copy())
+
+    def query_points(self, embedding: HalkQueryEmbedding) -> list[np.ndarray]:
+        return [arc.wrapped_center() for arc in embedding.branches]
 
     # ------------------------------------------------------------------
     # group signatures (for the ξ term of Eq. 17)

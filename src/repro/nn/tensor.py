@@ -16,30 +16,34 @@ rotation-based geometry, reductions, concatenation).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = True
+# Grad-mode is tracked per thread so that inference threads (e.g. the
+# ``repro.serve`` worker pool) can disable recording without racing a
+# trainer — a module-global flag restored by one thread would silently
+# re-enable graph capture in another mid-forward.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph recording (for evaluation)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently recorded for backward."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -76,7 +80,7 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False):
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -88,7 +92,7 @@ class Tensor:
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         """Create a result tensor wired into the autograd graph."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=False)
         out.requires_grad = requires
         if requires:

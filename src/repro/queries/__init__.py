@@ -2,7 +2,8 @@
 
 from .computation_graph import (Difference, Entity, Intersection, Negation,
                                 Node, Projection, Union, anchors, iter_nodes,
-                                query_size, relations, rename, to_dnf)
+                                query_size, relations, rename,
+                                structure_signature, to_dnf)
 from .dataset import QueryWorkload, WorkloadBundle, batches, build_workloads
 from .executor import answer_sets, execute
 from .printing import to_text, to_tree
@@ -16,7 +17,7 @@ from .structures import (DIFFERENCE_STRUCTURES, EPFO_STRUCTURES,
 __all__ = [
     "Entity", "Projection", "Intersection", "Union", "Difference", "Negation",
     "Node", "to_dnf", "query_size", "iter_nodes", "anchors", "relations",
-    "rename",
+    "rename", "structure_signature",
     "execute", "answer_sets",
     "GroundedQuery", "QuerySampler", "SamplerConfig",
     "QueryStructure", "STRUCTURES", "get_structure",

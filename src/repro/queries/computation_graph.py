@@ -27,7 +27,7 @@ from typing import Iterator, Union as TypingUnion
 __all__ = [
     "Node", "Entity", "Projection", "Intersection", "Union", "Difference",
     "Negation", "to_dnf", "query_size", "iter_nodes", "anchors", "relations",
-    "rename",
+    "rename", "structure_signature",
 ]
 
 
@@ -118,6 +118,25 @@ def query_size(node: Node) -> int:
     3 and so on.
     """
     return sum(1 for n in iter_nodes(node) if isinstance(n, Projection))
+
+
+def structure_signature(node: Node) -> str:
+    """Anonymous structural fingerprint of a query tree (ids erased).
+
+    Two queries share a signature exactly when their trees are isomorphic
+    once every anchor entity and relation id is stripped — which is the
+    condition under which they can be embedded together in a single
+    ``embed_batch`` call (same DNF branch count, same per-branch shape).
+    """
+    if isinstance(node, Entity):
+        return "E"
+    if isinstance(node, Projection):
+        return f"P({structure_signature(node.operand)})"
+    if isinstance(node, Negation):
+        return f"N({structure_signature(node.operand)})"
+    tag = {Intersection: "I", Union: "U", Difference: "D"}[type(node)]
+    inner = ",".join(structure_signature(op) for op in node.operands)
+    return f"{tag}({inner})"
 
 
 def rename(node: Node, entity_map=None, relation_map=None) -> Node:

@@ -1,0 +1,29 @@
+"""``repro.serve`` — batched, cached, observable query serving.
+
+The online counterpart of the training stack: a request queue +
+micro-batcher that coalesces concurrent ``answer()`` calls into single
+``embed_batch``/``distance_to_all`` passes, a multi-tier cache keyed on
+canonicalised computation graphs, a worker-pool dispatcher with
+deadlines, retries, and graceful degradation to exact or approximate
+fallbacks, and a metrics layer surfacing throughput, latency
+percentiles, and cache hit rates.
+"""
+
+from .batcher import MicroBatcher, ServeFuture, ServeRequest
+from .cache import LruCache, TtlCache
+from .canonical import batch_key, cache_key, canonicalize, serialize
+from .client import ServeClient
+from .metrics import (Counter, Gauge, Histogram, HistogramStats,
+                      MetricsRegistry, PeriodicReporter, StatsSnapshot,
+                      format_snapshot)
+from .runtime import ServeConfig, ServeError, ServeResult, ServeRuntime
+
+__all__ = [
+    "ServeRuntime", "ServeConfig", "ServeResult", "ServeError",
+    "ServeClient",
+    "MicroBatcher", "ServeFuture", "ServeRequest",
+    "LruCache", "TtlCache",
+    "canonicalize", "serialize", "cache_key", "batch_key",
+    "Counter", "Gauge", "Histogram", "HistogramStats", "MetricsRegistry",
+    "PeriodicReporter", "StatsSnapshot", "format_snapshot",
+]

@@ -1,0 +1,173 @@
+"""Request queue and micro-batcher.
+
+Concurrent ``answer()`` calls land here as :class:`ServeRequest` objects.
+The batcher thread coalesces them into batches that share a ``group_key``
+(the canonical structure signature — ``embed_batch`` requires one
+structure per call) and hands each batch to a dispatch callable.  A batch
+is flushed when it reaches ``max_batch_size`` or when ``flush_timeout``
+elapses after its first request arrived, so a lone request never waits
+longer than the flush window.
+
+The batcher knows nothing about models or caches; the runtime supplies
+the dispatch function.  This keeps the queueing logic independently
+testable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["ServeFuture", "ServeRequest", "MicroBatcher"]
+
+
+class ServeFuture:
+    """Write-once result slot handed back to the caller at submit time."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: BaseException | None = None
+
+    def set_result(self, result: Any) -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("serve request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+@dataclass
+class ServeRequest:
+    """One in-flight query (already canonicalised by the runtime)."""
+
+    query: Any
+    top_k: int
+    cache_key: str
+    group_key: str
+    future: ServeFuture = field(default_factory=ServeFuture)
+    #: absolute deadline on the runtime clock, or None
+    deadline: float | None = None
+    enqueued_at: float = 0.0
+
+
+class MicroBatcher:
+    """Coalesces requests into same-structure batches.
+
+    Parameters
+    ----------
+    dispatch:
+        Called with each flushed batch (``list[ServeRequest]``) from the
+        batcher thread; must be quick (e.g. submit to a worker pool).
+    max_batch_size:
+        Flush a group as soon as it holds this many requests.
+    flush_timeout:
+        Seconds to wait for stragglers after a group's first request.
+    depth_callback:
+        Optional ``callable(int)`` observing queue depth on every change.
+    """
+
+    def __init__(self, dispatch: Callable[[list[ServeRequest]], None],
+                 max_batch_size: int = 64, flush_timeout: float = 0.005,
+                 depth_callback: Optional[Callable[[int], None]] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if flush_timeout < 0:
+            raise ValueError("flush_timeout must be non-negative")
+        self._dispatch = dispatch
+        self.max_batch_size = max_batch_size
+        self.flush_timeout = flush_timeout
+        self._depth_callback = depth_callback
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        #: group_key -> FIFO of requests; OrderedDict keeps group arrival order
+        self._groups: OrderedDict[str, deque[ServeRequest]] = OrderedDict()
+        self._depth = 0
+        self._closed = False
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="serve-batcher")
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        self._thread.start()
+        return self
+
+    def submit(self, request: ServeRequest) -> None:
+        with self._nonempty:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            request.enqueued_at = self._clock()
+            self._groups.setdefault(request.group_key,
+                                    deque()).append(request)
+            self._depth += 1
+            self._observe_depth()
+            self._nonempty.notify()
+
+    def close(self) -> None:
+        """Stop accepting requests; drain what is queued, then join."""
+        with self._nonempty:
+            if self._closed:
+                return
+            self._closed = True
+            self._nonempty.notify_all()
+        if self._thread.is_alive():
+            self._thread.join()
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    # ------------------------------------------------------------------
+    def _observe_depth(self) -> None:
+        if self._depth_callback is not None:
+            self._depth_callback(self._depth)
+
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._dispatch(batch)
+
+    def _next_batch(self) -> list[ServeRequest] | None:
+        with self._nonempty:
+            while not self._groups and not self._closed:
+                self._nonempty.wait()
+            if not self._groups:
+                return None  # closed and drained
+            # Oldest group flushes first; wait out the flush window for
+            # stragglers unless the batch fills up (or we are draining).
+            key = next(iter(self._groups))
+            flush_at = self._clock() + self.flush_timeout
+            while (not self._closed
+                   and len(self._groups[key]) < self.max_batch_size):
+                remaining = flush_at - self._clock()
+                if remaining <= 0:
+                    break
+                self._nonempty.wait(remaining)
+            pending = self._groups[key]
+            batch = []
+            while pending and len(batch) < self.max_batch_size:
+                batch.append(pending.popleft())
+            if not pending:
+                del self._groups[key]
+            self._depth -= len(batch)
+            self._observe_depth()
+            return batch

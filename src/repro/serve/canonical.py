@@ -1,0 +1,69 @@
+"""Query canonicalisation: one cache entry per equivalence class.
+
+Two served queries frequently differ only in the order their operands
+were written down — ``I(a, b)`` vs ``I(b, a)``, or a UNION whose branches
+arrive permuted from different front-ends.  Canonicalisation rewrites a
+computation graph into a normal form so that every member of such an
+equivalence class produces the same :func:`cache_key` (embedding/answer
+caches hit) and the same :func:`batch_key` (requests coalesce into the
+same micro-batch).
+
+Normal form:
+
+* operands of the commutative connectives (:class:`Intersection`,
+  :class:`Union`) are sorted;
+* :class:`Difference` keeps its first (positive) operand in place and
+  sorts only the subtracted operands — ``D`` is not commutative;
+* the sort key orders first by anonymous shape, then by the full id
+  serialization, so isomorphic queries with different ids still agree on
+  *which shape goes where* and therefore share a batchable structure.
+"""
+
+from __future__ import annotations
+
+from ..queries.computation_graph import (Difference, Entity, Intersection,
+                                         Negation, Node, Projection, Union,
+                                         structure_signature)
+
+__all__ = ["canonicalize", "serialize", "cache_key", "batch_key"]
+
+
+def serialize(node: Node) -> str:
+    """Deterministic string form of a tree, ids included (hashable key)."""
+    if isinstance(node, Entity):
+        return f"E{node.entity}"
+    if isinstance(node, Projection):
+        return f"P{node.relation}({serialize(node.operand)})"
+    if isinstance(node, Negation):
+        return f"N({serialize(node.operand)})"
+    tag = {Intersection: "I", Union: "U", Difference: "D"}[type(node)]
+    return f"{tag}({','.join(serialize(op) for op in node.operands)})"
+
+
+def _sort_key(node: Node) -> tuple[str, str]:
+    return structure_signature(node), serialize(node)
+
+
+def canonicalize(node: Node) -> Node:
+    """Rewrite ``node`` into the serving normal form (same answers)."""
+    if isinstance(node, Entity):
+        return node
+    if isinstance(node, Projection):
+        return Projection(node.relation, canonicalize(node.operand))
+    if isinstance(node, Negation):
+        return Negation(canonicalize(node.operand))
+    operands = tuple(canonicalize(op) for op in node.operands)
+    if isinstance(node, Difference):
+        return Difference((operands[0],)
+                          + tuple(sorted(operands[1:], key=_sort_key)))
+    return type(node)(tuple(sorted(operands, key=_sort_key)))
+
+
+def cache_key(node: Node) -> str:
+    """Cache key shared by every query equivalent to ``node``."""
+    return serialize(canonicalize(node))
+
+
+def batch_key(node: Node) -> str:
+    """Micro-batch group key: canonical shape with ids erased."""
+    return structure_signature(canonicalize(node))

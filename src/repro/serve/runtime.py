@@ -1,0 +1,323 @@
+"""The in-process serving runtime: batching, caching, fallbacks, metrics.
+
+:class:`ServeRuntime` is the engine every front-end (CLI, SPARQL engine,
+benchmarks) sits on.  A request travels::
+
+    submit() ── answer-cache hit? ──────────────▶ resolved future
+        │ miss
+        ▼
+    MicroBatcher (coalesce same-structure requests, flush window)
+        ▼
+    worker pool (threads; numpy releases the GIL inside BLAS)
+        ├─ embedding-LRU hits  → distance only
+        ├─ misses              → one embed_batch + one distance_to_all
+        └─ on failure/deadline → bounded retries, then graceful
+           degradation: exact symbolic executor (``queries.executor``)
+           or the approximate ``ann.LshIndex`` path
+
+Every stage feeds the metrics registry (counters, latency histograms,
+queue-depth gauge), exposed via :meth:`ServeRuntime.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.model import QueryModel, topk_rows
+from ..kg.graph import KnowledgeGraph
+from ..nn import no_grad
+from ..queries.computation_graph import Node
+from ..queries.executor import execute
+from .batcher import MicroBatcher, ServeFuture, ServeRequest
+from .cache import LruCache, TtlCache
+from .canonical import batch_key, canonicalize, serialize
+from .metrics import MetricsRegistry, StatsSnapshot
+
+__all__ = ["ServeConfig", "ServeResult", "ServeRuntime", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """Raised to the caller when a request exhausts every path."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving runtime."""
+
+    max_batch_size: int = 64
+    #: seconds the batcher waits for stragglers after a batch opens
+    flush_timeout: float = 0.002
+    num_workers: int = 2
+    #: per-request deadline in seconds (None = no deadline)
+    default_deadline: float | None = None
+    #: model-path attempts per batch beyond the first
+    max_retries: int = 1
+    embedding_cache_size: int = 1024
+    answer_cache_size: int = 4096
+    #: seconds an answer-cache entry stays valid
+    answer_ttl: float = 300.0
+    #: sliding-window size of the latency histograms
+    histogram_window: int = 4096
+    #: candidate multiple fetched from the LSH index before re-ranking
+    lsh_candidate_factor: int = 4
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Answer of one served query."""
+
+    entity_ids: list[int]
+    #: which path produced it: model | answer_cache | exact | lsh
+    source: str
+    #: submit-to-resolve latency in seconds
+    latency: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.entity_ids)
+
+
+@dataclass
+class _Pending(ServeRequest):
+    """ServeRequest plus the runtime bookkeeping fields."""
+
+    retries_left: int = 0
+    submitted_at: float = 0.0
+
+
+class ServeRuntime:
+    """Batched, cached, observable query serving on top of a QueryModel.
+
+    Parameters
+    ----------
+    model:
+        Trained model answering via ``embed_batch``/``distance_to_all``.
+    kg:
+        Optional observed graph enabling the exact symbolic fallback.
+    index:
+        Optional :class:`repro.ann.LshIndex` over the model's entity
+        points enabling the approximate fallback (used on deadline
+        overruns, where skipping the full ranking is the point).
+    config, clock:
+        Runtime knobs and an injectable monotonic clock (tests).
+    """
+
+    def __init__(self, model: QueryModel, kg: KnowledgeGraph | None = None,
+                 index=None, config: ServeConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.model = model
+        self.kg = kg
+        self.index = index
+        self.config = config or ServeConfig()
+        self._clock = clock
+        self.metrics = MetricsRegistry(self.config.histogram_window)
+        self._latency = self.metrics.histogram("latency_ms")
+        self._batch_sizes = self.metrics.histogram("batch_size")
+        self._queue_depth = self.metrics.gauge("queue_depth")
+        self._answers = TtlCache(self.config.answer_cache_size,
+                                 self.config.answer_ttl, clock=clock)
+        self._embeddings = LruCache(self.config.embedding_cache_size)
+        # Probe once whether the model supports per-query embedding
+        # slicing; unsupported models simply skip the embedding tier.
+        self._embedding_tier = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.num_workers,
+            thread_name_prefix="serve-worker")
+        self._batcher = MicroBatcher(
+            self._dispatch, max_batch_size=self.config.max_batch_size,
+            flush_timeout=self.config.flush_timeout,
+            depth_callback=self._queue_depth.set, clock=clock)
+        self._batcher.start()
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit(self, query: Node, top_k: int = 10,
+               deadline: float | None = None) -> ServeFuture:
+        """Enqueue one query; returns a future resolving to ServeResult."""
+        self.metrics.counter("requests").inc()
+        now = self._clock()
+        canonical = canonicalize(query)
+        key = serialize(canonical)
+        cached = self._answers.get((key, top_k))
+        if cached is not None:
+            self.metrics.counter("answer_cache_hits").inc()
+            future = ServeFuture()
+            future.set_result(ServeResult(list(cached), "answer_cache",
+                                          latency=self._clock() - now))
+            self._latency.observe(1000.0 * (self._clock() - now))
+            return future
+        self.metrics.counter("answer_cache_misses").inc()
+        if deadline is None:
+            deadline = self.config.default_deadline
+        request = _Pending(
+            query=canonical, top_k=top_k, cache_key=key,
+            group_key=batch_key(canonical),
+            deadline=None if deadline is None else now + deadline,
+            retries_left=self.config.max_retries, submitted_at=now)
+        self._batcher.submit(request)
+        return request.future
+
+    def answer(self, query: Node, top_k: int = 10,
+               deadline: float | None = None,
+               timeout: float | None = None) -> ServeResult:
+        """Synchronous single-query answer."""
+        return self.submit(query, top_k, deadline).result(timeout)
+
+    def answer_batch(self, queries: list[Node], top_k: int = 10,
+                     deadline: float | None = None,
+                     timeout: float | None = None) -> list[ServeResult]:
+        """Submit many queries at once; results come back in input order."""
+        futures = [self.submit(q, top_k, deadline) for q in queries]
+        return [f.result(timeout) for f in futures]
+
+    def stats(self) -> StatsSnapshot:
+        """Current metrics, with cache tier stats folded in."""
+        for name, cache in (("answer_cache", self._answers),
+                            ("embedding_cache", self._embeddings)):
+            stats = cache.stats()
+            self.metrics.gauge(f"{name}_size").set(stats["size"])
+        snapshot = self.metrics.snapshot()
+        emb = self._embeddings.stats()
+        snapshot.counters["embedding_cache_hits"] = emb["hits"]
+        snapshot.counters["embedding_cache_misses"] = emb["misses"]
+        snapshot.counters["answer_cache_expirations"] = \
+            self._answers.stats()["expirations"]
+        return snapshot
+
+    def close(self) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._batcher.close()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ServeRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # batch execution (worker pool)
+    # ------------------------------------------------------------------
+    def _dispatch(self, batch: list[_Pending]) -> None:
+        try:
+            self._pool.submit(self._execute_batch, batch)
+        except RuntimeError:  # pool shut down while draining
+            self._execute_batch(batch)
+
+    def _execute_batch(self, batch: list[_Pending]) -> None:
+        self.metrics.counter("batches").inc()
+        self._batch_sizes.observe(len(batch))
+        now = self._clock()
+        live: list[_Pending] = []
+        for request in batch:
+            if request.deadline is not None and now >= request.deadline:
+                self.metrics.counter("deadline_overruns").inc()
+                self._fallback(request, reason="deadline")
+            else:
+                live.append(request)
+        if not live:
+            return
+        attempts = 1 + max(r.retries_left for r in live)
+        for attempt in range(attempts):
+            try:
+                self._model_answer(live)
+                return
+            except Exception:
+                self.metrics.counter("model_failures").inc()
+                if attempt < attempts - 1:
+                    self.metrics.counter("retries").inc()
+        for request in live:
+            self._fallback(request, reason="failure")
+
+    def _model_answer(self, batch: list[_Pending]) -> None:
+        """The happy path: embedding tier, then one batched ranking."""
+        with no_grad():
+            rows: list[tuple[_Pending, np.ndarray]] = []
+            misses: list[_Pending] = []
+            for request in batch:
+                embedding = self._embeddings.get(request.cache_key)
+                if embedding is not None:
+                    rows.append((request,
+                                 self.model.distance_to_all(embedding)
+                                 .data[0]))
+                else:
+                    misses.append(request)
+            if misses:
+                embedding = self.model.embed_batch(
+                    [r.query for r in misses])
+                distances = self.model.distance_to_all(embedding).data
+                for i, request in enumerate(misses):
+                    sliced = self.model.slice_embedding(embedding, i)
+                    if sliced is not None:
+                        self._embeddings.put(request.cache_key, sliced)
+                    rows.append((request, distances[i]))
+        for request, distance_row in rows:
+            ids = [int(e) for e in topk_rows(distance_row, request.top_k)]
+            self._resolve(request, ids, source="model")
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def _fallback(self, request: _Pending, reason: str) -> None:
+        # Deadline overruns prefer the cheap approximate path (the whole
+        # point is skipping the full ranking); model failures cannot use
+        # it (it probes the model) and go symbolic directly.
+        paths = (self._lsh_answer, self._exact_answer) \
+            if reason == "deadline" else (self._exact_answer,)
+        for path in paths:
+            try:
+                result = path(request)
+            except Exception:
+                result = None
+            if result is not None:
+                self._resolve(request, result[0], source=result[1])
+                return
+        self.metrics.counter("errors").inc()
+        request.future.set_exception(ServeError(
+            f"request failed ({reason}) and no fallback path succeeded"))
+
+    def _exact_answer(self, request: _Pending):
+        if self.kg is None:
+            return None
+        answers = sorted(execute(request.query, self.kg))
+        self.metrics.counter("fallback_exact").inc()
+        return answers[:request.top_k], "exact"
+
+    def _lsh_answer(self, request: _Pending):
+        if self.index is None:
+            return None
+        with no_grad():
+            embedding = self.model.embed_batch([request.query])
+            points = self.model.query_points(embedding)
+        if points is None:
+            return None
+        ids: list[int] = []
+        seen: set[int] = set()
+        for branch in points:
+            for entity in self.index.query(branch[0],
+                                           top_k=request.top_k):
+                if entity not in seen:
+                    seen.add(entity)
+                    ids.append(entity)
+        self.metrics.counter("fallback_lsh").inc()
+        return ids[:request.top_k], "lsh"
+
+    # ------------------------------------------------------------------
+    def _resolve(self, request: _Pending, ids: list[int],
+                 source: str) -> None:
+        latency = self._clock() - request.submitted_at
+        self._latency.observe(1000.0 * latency)
+        if source == "model":
+            self._answers.put((request.cache_key, request.top_k), ids)
+        request.future.set_result(ServeResult(ids, source, latency))

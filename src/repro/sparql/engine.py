@@ -13,9 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.model import QueryModel
+import numpy as np
+
+from ..core.model import QueryModel, topk_rows
 from ..kg.graph import KnowledgeGraph
 from ..matching.gfinder import GFinder
+from ..nn import no_grad
 from ..queries.computation_graph import Node
 from .adaptor import Adaptor
 from .parser import SelectQuery, parse_sparql
@@ -61,14 +64,48 @@ class SparqlEngine:
         parsed: SelectQuery = parse_sparql(sparql)
         return self.adaptor.to_computation_graph(parsed)
 
-    def answer(self, sparql: str, top_k: int = 10) -> SparqlResult:
-        """Answer with the embedding executor (requires a model)."""
+    def answer(self, sparql: str, top_k: int = 10,
+               index=None) -> SparqlResult:
+        """Answer with the embedding executor (requires a model).
+
+        Parameters
+        ----------
+        sparql, top_k:
+            The query string and result size.
+        index:
+            Optional :class:`repro.ann.LshIndex` over the model's entity
+            points.  When given (and the model exposes point geometry),
+            candidates come from the index in sub-linear time and only
+            the candidate pool is re-ranked with the true arc distance —
+            instead of ranking every entity with ``distance_to_all``.
+        """
         if self.model is None:
             raise RuntimeError("no embedding model configured; use "
                                "answer_exact() or pass a model")
         graph = self.compile(sparql)
-        ids = self.model.answer(graph, top_k=top_k)
+        ids = None
+        if index is not None:
+            ids = self._answer_with_index(graph, index, top_k)
+        if ids is None:
+            ids = self.model.answer(graph, top_k=top_k)
         return self._result(ids, graph)
+
+    def _answer_with_index(self, graph: Node, index,
+                           top_k: int) -> list[int] | None:
+        """Index-accelerated top-k; None if the model has no points."""
+        with no_grad():
+            embedding = self.model.embed_batch([graph])
+            points = self.model.query_points(embedding)
+            if points is None:
+                return None
+            pool = max(4 * top_k, top_k)
+            candidates: set[int] = set()
+            for branch in points:  # one (1, d) probe per DNF branch
+                candidates.update(index.query(branch[0], top_k=pool))
+            ids = np.fromiter(sorted(candidates), dtype=np.int64)
+            distances = self.model.distance_to_entities(
+                embedding, ids[None, :]).data[0]
+        return [int(ids[i]) for i in topk_rows(distances, top_k)]
 
     def answer_exact(self, sparql: str) -> SparqlResult:
         """Answer with the subgraph-matching executor (observed graph)."""

@@ -1,0 +1,23 @@
+"""Shared fixtures for the serving-runtime tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import HalkModel
+from repro.kg import KnowledgeGraph
+
+
+@pytest.fixture(scope="module")
+def tiny_kg() -> KnowledgeGraph:
+    """A small random-but-deterministic graph (30 entities, 4 relations)."""
+    rng = np.random.default_rng(11)
+    triples = {(int(rng.integers(30)), int(rng.integers(4)),
+                int(rng.integers(30))) for _ in range(180)}
+    return KnowledgeGraph(30, 4, sorted(triples))
+
+
+@pytest.fixture(scope="module")
+def model(tiny_kg) -> HalkModel:
+    return HalkModel(tiny_kg, ModelConfig(embedding_dim=8, hidden_dim=16,
+                                          seed=0))

@@ -1,0 +1,93 @@
+"""LRU and TTL cache tier behaviour."""
+
+import pytest
+
+from repro.serve import LruCache, TtlCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLruCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    def test_hit_and_miss_counters(self):
+        cache = LruCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                                 "size": 1}
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_overwrites(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+
+class TestTtlCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TtlCache(0, ttl=1.0)
+        with pytest.raises(ValueError):
+            TtlCache(4, ttl=0.0)
+
+    def test_entry_expires_after_ttl(self):
+        clock = FakeClock()
+        cache = TtlCache(8, ttl=10.0, clock=clock)
+        cache.put("a", [1, 2])
+        assert cache.get("a") == [1, 2]
+        clock.advance(9.9)
+        assert cache.get("a") == [1, 2]
+        clock.advance(0.2)
+        assert cache.get("a") is None
+        assert cache.stats()["expirations"] == 1
+
+    def test_put_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = TtlCache(8, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(8.0)
+        cache.put("a", 2)
+        clock.advance(8.0)
+        assert cache.get("a") == 2
+
+    def test_purge_drops_only_expired(self):
+        clock = FakeClock()
+        cache = TtlCache(8, ttl=10.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(11.0)
+        cache.put("new", 2)
+        assert cache.purge() == 1
+        assert len(cache) == 1
+        assert cache.get("new") == 2
+
+    def test_capacity_eviction(self):
+        clock = FakeClock()
+        cache = TtlCache(2, ttl=100.0, clock=clock)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1

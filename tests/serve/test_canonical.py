@@ -1,0 +1,86 @@
+"""Cache-key canonicalisation: isomorphic queries hit, distinct miss."""
+
+from repro.queries import (Difference, Entity, Intersection, Negation,
+                           Projection, Union, execute, structure_signature)
+from repro.serve import batch_key, cache_key, canonicalize, serialize
+
+
+def _i(*ops):
+    return Intersection(tuple(ops))
+
+
+def _u(*ops):
+    return Union(tuple(ops))
+
+
+class TestCacheKey:
+    def test_intersection_operand_order_is_irrelevant(self):
+        a = _i(Projection(0, Entity(1)), Projection(1, Entity(2)))
+        b = _i(Projection(1, Entity(2)), Projection(0, Entity(1)))
+        assert cache_key(a) == cache_key(b)
+
+    def test_union_operand_order_is_irrelevant(self):
+        a = _u(Entity(1), Entity(2), Entity(3))
+        b = _u(Entity(3), Entity(1), Entity(2))
+        assert cache_key(a) == cache_key(b)
+
+    def test_nested_reordering_matches(self):
+        a = Projection(5, _i(Entity(1), _u(Entity(2), Entity(3))))
+        b = Projection(5, _i(_u(Entity(3), Entity(2)), Entity(1)))
+        assert cache_key(a) == cache_key(b)
+
+    def test_distinct_anchors_miss(self):
+        a = Projection(0, Entity(1))
+        b = Projection(0, Entity(2))
+        assert cache_key(a) != cache_key(b)
+
+    def test_distinct_relations_miss(self):
+        assert cache_key(Projection(0, Entity(1))) \
+            != cache_key(Projection(1, Entity(1)))
+
+    def test_difference_is_not_commutative(self):
+        a = Difference((Entity(1), Entity(2)))
+        b = Difference((Entity(2), Entity(1)))
+        assert cache_key(a) != cache_key(b)
+
+    def test_difference_subtrahends_commute(self):
+        a = Difference((Entity(1), Entity(2), Entity(3)))
+        b = Difference((Entity(1), Entity(3), Entity(2)))
+        assert cache_key(a) == cache_key(b)
+
+    def test_negation_passthrough(self):
+        a = Negation(_i(Entity(1), Entity(2)))
+        b = Negation(_i(Entity(2), Entity(1)))
+        assert cache_key(a) == cache_key(b)
+
+
+class TestCanonicalize:
+    def test_preserves_answers(self, tiny_kg):
+        query = _i(Projection(0, Entity(0)), Projection(1, Entity(1)))
+        assert execute(canonicalize(query), tiny_kg) \
+            == execute(query, tiny_kg)
+
+    def test_idempotent(self):
+        query = _i(Projection(1, Entity(2)), Projection(0, Entity(1)))
+        once = canonicalize(query)
+        assert canonicalize(once) == once
+
+    def test_serialize_is_deterministic(self):
+        query = Difference((Projection(0, Entity(1)), Entity(2)))
+        assert serialize(query) == serialize(query)
+        assert "P0" in serialize(query)
+
+
+class TestBatchKey:
+    def test_same_template_different_ids_share_group(self):
+        a = _i(Projection(0, Entity(1)), Projection(1, Entity(2)))
+        b = _i(Projection(7, Entity(9)), Projection(3, Entity(4)))
+        assert batch_key(a) == batch_key(b)
+        assert cache_key(a) != cache_key(b)
+
+    def test_different_shapes_do_not_share_group(self):
+        assert batch_key(Projection(0, Entity(1))) \
+            != batch_key(Projection(0, Projection(1, Entity(1))))
+
+    def test_signature_strips_ids(self):
+        assert structure_signature(Projection(3, Entity(9))) == "P(E)"

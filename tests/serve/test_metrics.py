@@ -1,0 +1,91 @@
+"""Counters, gauges, histograms, snapshots, periodic reporting."""
+
+import threading
+
+import pytest
+
+from repro.serve import (Histogram, MetricsRegistry, PeriodicReporter,
+                         format_snapshot)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("requests").value == 5
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3)
+        gauge.add(-1)
+        assert gauge.value == 2.0
+
+    def test_histogram_percentiles(self):
+        histogram = Histogram(window=1000)
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        stats = histogram.stats()
+        assert stats.count == 100
+        assert stats.p50 == pytest.approx(50.5)
+        assert stats.p99 == pytest.approx(99.01)
+        assert stats.max == 100.0
+
+    def test_histogram_window_slides(self):
+        histogram = Histogram(window=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        stats = histogram.stats()
+        assert stats.count == 100       # lifetime count
+        assert stats.p50 >= 90.0        # percentiles over the window only
+
+    def test_empty_histogram(self):
+        stats = Histogram().stats()
+        assert stats.count == 0 and stats.p99 == 0.0
+
+
+class TestSnapshot:
+    def test_hit_rate(self):
+        registry = MetricsRegistry()
+        registry.counter("answer_cache_hits").inc(3)
+        registry.counter("answer_cache_misses").inc(1)
+        snapshot = registry.snapshot()
+        assert snapshot.hit_rate("answer_cache") == pytest.approx(0.75)
+        assert snapshot.hit_rate("embedding_cache") == 0.0
+
+    def test_format_contains_percentiles_and_hit_rate(self):
+        registry = MetricsRegistry()
+        registry.counter("answer_cache_hits").inc(1)
+        registry.counter("answer_cache_misses").inc(1)
+        registry.histogram("latency_ms").observe(5.0)
+        registry.gauge("queue_depth").set(2)
+        text = format_snapshot(registry.snapshot())
+        for needle in ("p50", "p95", "p99", "answer_cache_hit_rate",
+                       "queue_depth", "latency_ms"):
+            assert needle in text
+
+
+class TestPeriodicReporter:
+    def test_emits_snapshots(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(7)
+        seen = threading.Event()
+        snapshots = []
+
+        def collect(snapshot):
+            snapshots.append(snapshot)
+            seen.set()
+
+        reporter = PeriodicReporter(registry, collect, interval=0.02)
+        reporter.start()
+        try:
+            assert seen.wait(timeout=5.0)
+        finally:
+            reporter.stop()
+        assert snapshots[0].counters["requests"] == 7
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicReporter(MetricsRegistry(), lambda s: None, interval=0)

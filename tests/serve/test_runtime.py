@@ -1,0 +1,264 @@
+"""End-to-end serving-runtime behaviour.
+
+Fast correctness tests run in tier-1; the heavier concurrency stress
+test is marked ``serve`` (run with ``pytest -m serve``).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import QueryModel
+from repro.queries import (Entity, Intersection, Projection, QuerySampler,
+                           execute, get_structure)
+from repro.serve import (ServeConfig, ServeError, ServeRuntime,
+                         canonicalize)
+
+
+def sample_queries(kg, count, structures=("1p", "2p", "2i"), seed=5):
+    sampler = QuerySampler(kg, seed=seed)
+    per = max(1, count // len(structures))
+    return [sampler.sample(get_structure(name)).query
+            for name in structures for _ in range(per)][:count]
+
+
+def make_runtime(model, kg=None, **overrides):
+    defaults = dict(max_batch_size=16, flush_timeout=0.002, num_workers=2)
+    defaults.update(overrides)
+    return ServeRuntime(model, kg=kg, config=ServeConfig(**defaults))
+
+
+class FailingModel(QueryModel):
+    """A model whose embedding path always raises (degradation tests)."""
+
+    name = "failing"
+
+    def embed_batch(self, queries):
+        raise RuntimeError("synthetic model failure")
+
+
+class FlakyModel(QueryModel):
+    """Fails the first ``failures`` embed calls, then delegates."""
+
+    name = "flaky"
+
+    def __init__(self, inner, failures=1):
+        super().__init__(inner.num_entities, inner.num_relations)
+        self.inner = inner
+        self.failures = failures
+        self.calls = 0
+
+    def embed_batch(self, queries):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError("synthetic transient failure")
+        return self.inner.embed_batch(queries)
+
+    def distance_to_all(self, embedding):
+        return self.inner.distance_to_all(embedding)
+
+    def slice_embedding(self, embedding, index):
+        return self.inner.slice_embedding(embedding, index)
+
+
+class TestResultCorrectness:
+    def test_matches_sequential_answers(self, tiny_kg, model):
+        queries = sample_queries(tiny_kg, 18)
+        expected = [model.answer(canonicalize(q), top_k=5)
+                    for q in queries]
+        with make_runtime(model, kg=tiny_kg) as runtime:
+            results = runtime.answer_batch(queries, top_k=5)
+        assert [r.entity_ids for r in results] == expected
+        assert all(r.source == "model" for r in results)
+
+    def test_batcher_ordering_under_concurrent_submission(self, tiny_kg,
+                                                          model):
+        queries = sample_queries(tiny_kg, 24, seed=9)
+        expected = [model.answer(canonicalize(q), top_k=4)
+                    for q in queries]
+        outcomes: list = [None] * len(queries)
+        barrier = threading.Barrier(len(queries))
+
+        def worker(position):
+            barrier.wait()      # maximise submission interleaving
+            result = runtime.answer(queries[position], top_k=4)
+            outcomes[position] = result.entity_ids
+
+        with make_runtime(model, kg=tiny_kg, max_batch_size=8) as runtime:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(len(queries))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert outcomes == expected
+
+    def test_batches_actually_coalesce(self, tiny_kg, model):
+        queries = sample_queries(tiny_kg, 16, structures=("2p",))
+        with make_runtime(model, kg=tiny_kg,
+                          flush_timeout=0.05) as runtime:
+            runtime.answer_batch(queries, top_k=3)
+            stats = runtime.stats()
+        assert stats.counters["batches"] < len(queries)
+        assert stats.histograms["batch_size"].max > 1
+
+
+class TestCaching:
+    def test_answer_cache_hit_on_isomorphic_query(self, tiny_kg, model):
+        a = Intersection((Projection(0, Entity(1)), Projection(1, Entity(2))))
+        b = Intersection((Projection(1, Entity(2)), Projection(0, Entity(1))))
+        with make_runtime(model, kg=tiny_kg) as runtime:
+            first = runtime.answer(a, top_k=5)
+            second = runtime.answer(b, top_k=5)
+        assert first.source == "model"
+        assert second.source == "answer_cache"
+        assert second.entity_ids == first.entity_ids
+
+    def test_ttl_expiry_forces_recompute(self, tiny_kg, model):
+        clock_now = [0.0]
+        query = Projection(0, Entity(3))
+        runtime = ServeRuntime(
+            model, kg=tiny_kg,
+            config=ServeConfig(max_batch_size=4, flush_timeout=0.0,
+                               answer_ttl=30.0),
+            clock=lambda: clock_now[0])
+        try:
+            assert runtime.answer(query, top_k=3).source == "model"
+            clock_now[0] += 10.0
+            assert runtime.answer(query, top_k=3).source == "answer_cache"
+            clock_now[0] += 31.0
+            result = runtime.answer(query, top_k=3)
+            assert result.source == "model"
+            stats = runtime.stats()
+            assert stats.counters["answer_cache_expirations"] == 1
+        finally:
+            runtime.close()
+
+    def test_embedding_cache_hits_on_new_top_k(self, tiny_kg, model):
+        query = Projection(0, Entity(4))
+        with make_runtime(model, kg=tiny_kg) as runtime:
+            runtime.answer(query, top_k=3)
+            # different top_k misses the answer cache but hits the
+            # embedding tier: embed_batch must not run again
+            result = runtime.answer(query, top_k=7)
+            stats = runtime.stats()
+        assert result.source == "model"
+        assert stats.counters["embedding_cache_hits"] == 1
+
+    def test_top_k_is_part_of_answer_cache_key(self, tiny_kg, model):
+        query = Projection(1, Entity(5))
+        with make_runtime(model, kg=tiny_kg) as runtime:
+            small = runtime.answer(query, top_k=2)
+            large = runtime.answer(query, top_k=6)
+        assert len(small) == 2 and len(large) == 6
+        assert large.entity_ids[:2] == small.entity_ids
+
+
+class TestDegradation:
+    def test_fallback_agrees_with_exact_executor(self, tiny_kg):
+        failing = FailingModel(tiny_kg.num_entities, tiny_kg.num_relations)
+        queries = sample_queries(tiny_kg, 9, seed=13)
+        with make_runtime(failing, kg=tiny_kg, max_retries=0) as runtime:
+            results = runtime.answer_batch(queries, top_k=50)
+        for query, result in zip(queries, results):
+            assert result.source == "exact"
+            exact = sorted(execute(canonicalize(query), tiny_kg))[:50]
+            assert result.entity_ids == exact
+
+    def test_error_when_no_fallback_available(self, tiny_kg):
+        failing = FailingModel(tiny_kg.num_entities, tiny_kg.num_relations)
+        with make_runtime(failing, kg=None, max_retries=0) as runtime:
+            future = runtime.submit(Projection(0, Entity(1)), top_k=3)
+            with pytest.raises(ServeError):
+                future.result(timeout=10.0)
+            assert runtime.stats().counters["errors"] == 1
+
+    def test_retry_then_success(self, tiny_kg, model):
+        flaky = FlakyModel(model, failures=1)
+        with make_runtime(flaky, kg=tiny_kg, max_retries=2) as runtime:
+            result = runtime.answer(Projection(0, Entity(2)), top_k=3)
+            stats = runtime.stats()
+        assert result.source == "model"
+        assert stats.counters["retries"] == 1
+        assert stats.counters["model_failures"] == 1
+
+    def test_expired_deadline_falls_back(self, tiny_kg, model):
+        with make_runtime(model, kg=tiny_kg) as runtime:
+            result = runtime.answer(Projection(0, Entity(6)), top_k=4,
+                                    deadline=0.0)
+            stats = runtime.stats()
+        assert result.source in ("exact", "lsh")
+        assert stats.counters["deadline_overruns"] == 1
+
+    def test_deadline_prefers_lsh_when_index_present(self, tiny_kg, model):
+        import numpy as np
+        from repro.ann import LshIndex
+        points = np.mod(model.entity_points.weight.data, 2 * np.pi)
+        index = LshIndex(points, num_tables=8, bits_per_table=4, seed=1)
+        runtime = ServeRuntime(model, kg=tiny_kg, index=index,
+                               config=ServeConfig(max_batch_size=4,
+                                                  flush_timeout=0.0))
+        try:
+            result = runtime.answer(Projection(0, Entity(7)), top_k=4,
+                                    deadline=0.0)
+        finally:
+            runtime.close()
+        assert result.source == "lsh"
+        assert len(result) == 4
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, tiny_kg, model):
+        runtime = make_runtime(model, kg=tiny_kg)
+        runtime.answer(Projection(0, Entity(1)), top_k=2)
+        runtime.close()
+        runtime.close()
+
+    def test_submit_after_close_raises(self, tiny_kg, model):
+        runtime = make_runtime(model, kg=tiny_kg)
+        runtime.close()
+        with pytest.raises(RuntimeError):
+            runtime.submit(Projection(0, Entity(1)))
+
+
+@pytest.mark.serve
+class TestStress:
+    def test_many_concurrent_clients(self, tiny_kg, model):
+        """200 queries from 16 threads: no crossovers, no drops."""
+        queries = sample_queries(tiny_kg, 200,
+                                 structures=("1p", "2p", "2i", "3i"),
+                                 seed=21)
+        expected = {i: model.answer(canonicalize(q), top_k=5)
+                    for i, q in enumerate(queries)}
+        outcomes: dict[int, list[int]] = {}
+        lock = threading.Lock()
+        positions = list(range(len(queries)))
+
+        def worker(chunk):
+            for position in chunk:
+                result = runtime.answer(queries[position], top_k=5,
+                                        timeout=60.0)
+                with lock:
+                    outcomes[position] = result.entity_ids
+
+        with make_runtime(model, kg=tiny_kg, max_batch_size=32,
+                          num_workers=4) as runtime:
+            chunks = [positions[i::16] for i in range(16)]
+            threads = [threading.Thread(target=worker, args=(c,))
+                       for c in chunks]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            stats = runtime.stats()
+        assert len(outcomes) == len(queries)
+        # cache hits are fine: isomorphic queries share an answer, so
+        # every outcome must still equal its own sequential answer
+        mismatches = [i for i in positions if outcomes[i] != expected[i]]
+        assert not mismatches
+        assert stats.counters["requests"] == len(queries)
+        assert stats.histograms["latency_ms"].count == len(queries)
+        assert elapsed < 60.0

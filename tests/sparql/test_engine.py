@@ -61,3 +61,55 @@ class TestEmbeddingExecutor:
         result = engine.answer("SELECT ?x WHERE { oscar winner ?x }", top_k=3)
         assert len(result.entity_ids) == 3
         assert all(name in kg.entity_names for name in result.entity_names)
+
+
+class TestIndexAcceleratedExecutor:
+    @pytest.fixture(scope="class")
+    def big_kg(self) -> KnowledgeGraph:
+        rng = np.random.default_rng(4)
+        triples = {(int(rng.integers(120)), int(rng.integers(3)),
+                    int(rng.integers(120))) for _ in range(600)}
+        return KnowledgeGraph(120, 3, sorted(triples))
+
+    @pytest.fixture(scope="class")
+    def big_model(self, big_kg) -> HalkModel:
+        return HalkModel(big_kg, ModelConfig(embedding_dim=8, hidden_dim=16,
+                                             seed=0))
+
+    @pytest.fixture(scope="class")
+    def index(self, big_model):
+        from repro.ann import LshIndex
+        points = np.mod(big_model.entity_points.weight.data, 2 * np.pi)
+        return LshIndex(points, num_tables=12, bits_per_table=4, seed=3)
+
+    def test_index_recall(self, big_model, index):
+        points = np.mod(big_model.entity_points.weight.data, 2 * np.pi)
+        assert index.recall_at_k(points[:30], top_k=5) > 0.5
+
+    def test_answer_with_index(self, big_kg, big_model, index):
+        engine = SparqlEngine(big_kg, model=big_model)
+        head, rel, _ = sorted(big_kg.triples)[0]
+        sparql = (f"SELECT ?x WHERE {{ {big_kg.entity_names[head]} "
+                  f"{big_kg.relation_names[rel]} ?x }}")
+        result = engine.answer(sparql, top_k=5, index=index)
+        assert len(result.entity_ids) == 5
+        # the index path re-ranks with the true arc distance, so its
+        # top-k should largely agree with the brute-force ranking
+        brute = engine.answer(sparql, top_k=5)
+        assert len(set(result.entity_ids) & set(brute.entity_ids)) >= 3
+
+    def test_index_ignored_for_pointless_model(self, big_kg, big_model):
+        """Models without point geometry silently fall back to brute force."""
+
+        class PointlessModel(HalkModel):
+            def query_points(self, embedding):
+                return None
+
+        model = PointlessModel(big_kg, ModelConfig(embedding_dim=8,
+                                                   hidden_dim=16, seed=0))
+        engine = SparqlEngine(big_kg, model=model)
+        head, rel, _ = sorted(big_kg.triples)[0]
+        sparql = (f"SELECT ?x WHERE {{ {big_kg.entity_names[head]} "
+                  f"{big_kg.relation_names[rel]} ?x }}")
+        result = engine.answer(sparql, top_k=4, index=object())
+        assert len(result.entity_ids) == 4

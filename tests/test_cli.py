@@ -82,3 +82,75 @@ class TestCommands:
                      "--dim", "8", "--scale", "0.3",
                      "--model-dir", str(tmp_path), "--epochs", "2",
                      "--queries", "5"]) == 0
+
+
+class TestModelMetaValidation:
+    def _train(self, tmp_path, method="HaLk"):
+        common = ["--dataset", "FB237", "--method", method, "--dim", "8",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)]
+        main(["train", *common, "--epochs", "2", "--queries", "5"])
+        return common
+
+    def test_method_mismatch_detected(self, tmp_path):
+        import shutil
+        self._train(tmp_path, method="HaLk")
+        # simulate weights copied to another method's slot: the meta still
+        # says HaLk, so loading as ConE must fail with a clear message
+        shutil.copy(tmp_path / "FB237_HaLk.npz", tmp_path / "FB237_ConE.npz")
+        shutil.copy(tmp_path / "FB237_HaLk.json", tmp_path / "FB237_ConE.json")
+        with pytest.raises(SystemExit, match="method='HaLk'"):
+            main(["evaluate", "--dataset", "FB237", "--method", "ConE",
+                  "--dim", "8", "--scale", "0.3",
+                  "--model-dir", str(tmp_path)])
+
+    def test_dataset_mismatch_detected(self, tmp_path):
+        import shutil
+        self._train(tmp_path)
+        shutil.copy(tmp_path / "FB237_HaLk.npz", tmp_path / "FB15k_HaLk.npz")
+        shutil.copy(tmp_path / "FB237_HaLk.json", tmp_path / "FB15k_HaLk.json")
+        with pytest.raises(SystemExit, match="dataset='FB237'"):
+            main(["evaluate", "--dataset", "FB15k", "--method", "HaLk",
+                  "--dim", "8", "--scale", "0.3",
+                  "--model-dir", str(tmp_path)])
+
+
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.repeat == 3
+        assert args.batch_size == 64
+        assert not args.stats
+
+    def test_serve_reports_stats(self, tmp_path, capsys):
+        common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)]
+        assert main(["serve", *common, "--train-if-missing",
+                     "--train-epochs", "2", "--train-queries", "5",
+                     "--queries", "12", "--repeat", "2", "--top-k", "3",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pass 1:" in out and "pass 2:" in out
+        assert "answer_cache_hit_rate" in out
+        assert "p50" in out and "p99" in out
+        assert "answer_cache" in out
+
+    def test_serve_explicit_sparql(self, tmp_path, capsys):
+        from repro.kg import load_dataset
+        common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)]
+        main(["train", *common, "--epochs", "2", "--queries", "5"])
+        capsys.readouterr()
+        splits = load_dataset("FB237", scale=0.3, seed=0)
+        head, rel, _ = sorted(splits.train.triples)[0]
+        sparql = (f"SELECT ?x WHERE {{ {splits.train.entity_names[head]} "
+                  f"{splits.train.relation_names[rel]} ?x }}")
+        assert main(["serve", *common, "--sparql", sparql,
+                     "--repeat", "1", "--top-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "1 queries" in out
+
+    def test_serve_without_model_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trained model"):
+            main(["serve", "--dataset", "FB237", "--method", "HaLk",
+                  "--dim", "8", "--scale", "0.3",
+                  "--model-dir", str(tmp_path)])
