@@ -7,6 +7,10 @@ matching (including dynamic index construction) for GFinder.
 Expected shape: all embedding methods are within the same order of
 magnitude, GFinder is far slower.
 
+Each embedding method additionally reports a span-derived stage
+breakdown (embed vs distance vs rank, per-query ms) measured with
+``repro.obs`` tracing over a batched ``answer_batch`` pass.
+
 Run::
 
     pytest benchmarks/bench_fig6c_online_time.py --benchmark-only -s
@@ -17,6 +21,7 @@ import time
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.baselines import UnsupportedOperatorError
 from repro.matching import GFinder
 from repro.queries import LARGE_STRUCTURES, QuerySampler, get_structure
@@ -38,8 +43,23 @@ def _queries(context, dataset):
     return out
 
 
+def _stage_breakdown(model, supported):
+    """Per-query embed/distance/rank ms from repro.obs spans."""
+    tracer = obs.Tracer()
+    previous = obs.set_tracer(tracer)
+    try:
+        with obs.enabled():
+            model.answer_batch(supported)
+    finally:
+        obs.set_tracer(previous)
+    return {name.removeprefix("model."): stats.total_ms / len(supported)
+            for name, stats in tracer.stage_stats().items()
+            if name in ("model.embed", "model.distance", "model.rank")}
+
+
 def _online_times(context, dataset, queries):
     times = {}
+    stages = {}
     for method in EMBEDDING_METHODS:
         model = context.model(dataset, method)
         supported = []
@@ -53,25 +73,30 @@ def _online_times(context, dataset, queries):
         for query in supported:
             model.rank_all_entities([query])
         times[method] = 1000 * (time.perf_counter() - start) / len(supported)
+        stages[method] = _stage_breakdown(model, supported)
     gfinder = GFinder(context.splits(dataset).train)
     start = time.perf_counter()
     for query in queries:
         gfinder.execute(query)
     times["GFinder"] = 1000 * (time.perf_counter() - start) / len(queries)
-    return times
+    return times, stages
 
 
 @pytest.mark.parametrize("dataset", DATASETS)
 def test_fig6c_online_time(benchmark, context, dataset):
     """Regenerate one dataset group of Fig. 6c."""
     queries = _queries(context, dataset)
-    times = benchmark.pedantic(_online_times,
-                               args=(context, dataset, queries),
-                               rounds=1, iterations=1)
+    times, stages = benchmark.pedantic(_online_times,
+                                       args=(context, dataset, queries),
+                                       rounds=1, iterations=1)
     print()
     print(f"Fig. 6c ({dataset}): online time per query (ms)")
     for method, value in times.items():
-        print(f"  {method:<9} {value:>8.2f}")
+        breakdown = stages.get(method, {})
+        detail = "".join(f"  {stage}={breakdown[stage]:.2f}"
+                         for stage in ("embed", "distance", "rank")
+                         if stage in breakdown)
+        print(f"  {method:<9} {value:>8.2f}{detail}")
     embedding_mean = np.mean([times[m] for m in EMBEDDING_METHODS])
     assert times["GFinder"] > embedding_mean, \
         "subgraph matching should be slower online than embedding methods"

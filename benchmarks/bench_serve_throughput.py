@@ -7,7 +7,10 @@ Measures queries/sec on the FB237 quick workload through three paths:
 * **batched** — the same queries through :class:`repro.serve.ServeRuntime`,
   which coalesces them into ``embed_batch``/``distance_to_all`` passes;
 * **cached** — a second pass over the same workload, served from the
-  answer cache.
+  answer cache;
+* **traced** — the batched path again with ``repro.obs`` tracing enabled
+  on a fresh runtime, so the span bookkeeping cost is visible next to
+  the throughput it annotates.
 
 The batched path must clear 3× the sequential throughput (the number the
 serving subsystem exists to deliver); the cached pass must beat batched.
@@ -27,6 +30,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.queries import QuerySampler, get_structure
 from repro.serve import ServeConfig, ServeRuntime, format_snapshot
 
@@ -66,10 +70,20 @@ def _measure(context):
         cached = len(queries) / (time.perf_counter() - start)
         snapshot = runtime.stats()
 
+    # fourth pass: batched again, tracing on, fresh runtime (cold caches)
+    with obs.enabled():
+        tracer = obs.Tracer()
+        with ServeRuntime(model, kg=context.splits("FB237").train,
+                          config=config, tracer=tracer) as runtime:
+            start = time.perf_counter()
+            runtime.answer_batch(queries, top_k=top_k)
+            traced = len(queries) / (time.perf_counter() - start)
+            stages = runtime.stats().stages
+
     assert all(r.source == "answer_cache" for r in results)
     return {"sequential": sequential, "batched": batched,
-            "cached": cached, "snapshot": snapshot,
-            "queries": len(queries)}
+            "cached": cached, "traced": traced, "snapshot": snapshot,
+            "stages": stages, "queries": len(queries)}
 
 
 def test_bench_serve_throughput(benchmark):
@@ -80,9 +94,14 @@ def test_bench_serve_throughput(benchmark):
     print()
     print(f"serving throughput, FB237 quick workload "
           f"({out['queries']} queries):")
-    for path in ("sequential", "batched", "cached"):
+    for path in ("sequential", "batched", "cached", "traced"):
         speedup = out[path] / out["sequential"]
         print(f"  {path:<10} {out[path]:>10,.0f} q/s  ({speedup:>6.1f}x)")
+    tracing_cost = 100.0 * (1.0 - out["traced"] / out["batched"])
+    print(f"  tracing overhead vs batched: {tracing_cost:.1f}%")
+    for name, stage in sorted(out["stages"].items()):
+        print(f"    {name:<20} mean {stage.mean_ms:>8.3f} ms "
+              f"x{stage.count}")
     print(format_snapshot(out["snapshot"], title="serve stats"))
     assert out["batched"] >= 3.0 * out["sequential"], \
         "micro-batching should amortise the per-query embed/rank cost"

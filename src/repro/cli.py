@@ -7,12 +7,16 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli evaluate --dataset FB237 --method HaLk
     python -m repro.cli answer --dataset FB237 --sparql "SELECT ?x WHERE { e12 rotation_0 ?x }"
     python -m repro.cli serve --dataset FB237 --train-if-missing --stats
+    python -m repro.cli trace --dataset FB237 --structure 3p --out trace.json
+    python -m repro.cli train --dataset FB237 --telemetry train.jsonl
 
 ``train`` persists model weights under ``--model-dir`` (default
-``./models``); ``evaluate``, ``answer`` and ``serve`` reload them.
-``serve`` drives the batched/cached runtime in ``repro.serve`` over a
-workload and reports throughput, cache hit rates, and latency
-percentiles.
+``./models``); ``evaluate``, ``answer``, ``serve`` and ``trace`` reload
+them.  ``serve`` drives the batched/cached runtime in ``repro.serve``
+over a workload and reports throughput, cache hit rates, and latency
+percentiles.  ``trace`` answers one query with ``repro.obs`` tracing
+enabled and writes a Chrome trace-event file; ``train --telemetry``
+streams per-epoch training telemetry as JSON Lines.
 """
 
 from __future__ import annotations
@@ -83,13 +87,25 @@ def _train_and_save(args, epochs: int, queries: int, lr: float = 2e-3,
             workload.add(query)
         except UnsupportedOperatorError:
             continue
+    callbacks = []
+    telemetry = None
+    if getattr(args, "telemetry", None):
+        from .obs import JsonlTelemetry
+        telemetry = JsonlTelemetry(args.telemetry)
+        callbacks.append(telemetry)
     trainer = Trainer(model, workload,
                       TrainConfig(epochs=epochs, batch_size=128,
                                   num_negatives=16, learning_rate=lr,
                                   embedding_learning_rate=embedding_lr,
                                   seed=args.seed,
-                                  log_every=max(1, epochs // 10)))
-    history = trainer.train()
+                                  log_every=max(1, epochs // 10)),
+                      callbacks=callbacks)
+    try:
+        history = trainer.train()
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"telemetry: {args.telemetry}")
     model_dir = pathlib.Path(args.model_dir)
     model_dir.mkdir(parents=True, exist_ok=True)
     weights, meta = _model_paths(model_dir, args.dataset, args.method)
@@ -227,6 +243,65 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from . import obs
+    from .queries import QuerySampler, get_structure
+    from .serve import ServeConfig, ServeRuntime, format_snapshot
+
+    weights, _ = _model_paths(pathlib.Path(args.model_dir), args.dataset,
+                              args.method)
+    if not weights.exists() and args.train_if_missing:
+        print(f"no trained model at {weights}; training a quick one "
+              f"({args.train_epochs} epochs)")
+        _train_and_save(args, epochs=args.train_epochs,
+                        queries=args.train_queries)
+    splits, model = _load_trained(args)
+    tracer = obs.get_tracer()
+    tracer.reset()
+    profiler = obs.Profiler() if args.profile else None
+    obs.enable()
+    try:
+        if profiler is not None:
+            profiler.__enter__()
+        try:
+            if args.sparql:
+                engine = SparqlEngine(splits.train, model=model)
+                result = engine.answer(args.sparql, top_k=args.top_k)
+                ids = result.entity_ids
+            else:
+                sampler = QuerySampler(splits.train, splits.test,
+                                       seed=args.seed)
+                query = sampler.sample(
+                    get_structure(args.structure)).query
+                config = ServeConfig(num_workers=args.workers)
+                with ServeRuntime(model, kg=splits.train,
+                                  config=config) as runtime:
+                    ids = runtime.answer(query, top_k=args.top_k).entity_ids
+        finally:
+            if profiler is not None:
+                profiler.__exit__(None, None, None)
+    finally:
+        obs.disable()
+    spans = tracer.finished()
+    print(f"answers: {ids}")
+    print()
+    print(obs.format_span_tree(spans))
+    stages = tracer.stage_stats()
+    print()
+    print(f"{'stage':<24} {'count':>6} {'mean ms':>9} {'total ms':>9}")
+    for name, stage in stages.items():
+        print(f"{name:<24} {stage.count:>6d} {stage.mean_ms:>9.3f} "
+              f"{stage.total_ms:>9.3f}")
+    if profiler is not None:
+        print()
+        print(profiler.table())
+    if args.out:
+        count = obs.write_chrome_trace(args.out, spans)
+        print(f"\nwrote {count} trace events to {args.out} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HaLk reproduction command line")
@@ -253,6 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="training queries per structure")
     p.add_argument("--lr", type=float, default=2e-3)
     p.add_argument("--embedding-lr", type=float, default=2e-2)
+    p.add_argument("--telemetry", metavar="OUT.JSONL",
+                   help="stream per-epoch telemetry (loss, grad norms, "
+                        "per-operator time, samples/sec) to a JSON-Lines "
+                        "file")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a trained model")
@@ -295,6 +374,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--train-epochs", type=int, default=30)
     p.add_argument("--train-queries", type=int, default=50)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("trace",
+                       help="trace one query through the stack and export "
+                            "a Chrome trace-event file")
+    common(p)
+    p.add_argument("--structure", default="3p",
+                   help="query structure to sample when no --sparql is "
+                        "given (default: 3p, a 3-hop chain)")
+    p.add_argument("--sparql",
+                   help="trace this SPARQL query through the engine "
+                        "instead of the serving runtime")
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace-event output path ('' to skip)")
+    p.add_argument("--profile", action="store_true",
+                   help="also run the repro.nn autograd profiler and "
+                        "print the per-op cost table")
+    p.add_argument("--train-if-missing", action="store_true",
+                   help="train a quick model first when none is saved")
+    p.add_argument("--train-epochs", type=int, default=30)
+    p.add_argument("--train-queries", type=int, default=50)
+    p.set_defaults(func=cmd_trace)
     return parser
 
 

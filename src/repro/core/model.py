@@ -22,6 +22,7 @@ from ..config import ModelConfig
 from ..kg.graph import KnowledgeGraph
 from ..kg.groups import GroupAssignment
 from ..nn import Embedding, F, Module, Tensor, no_grad
+from ..obs.trace import get_tracer
 from ..queries.computation_graph import (Difference, Entity, Intersection,
                                          Negation, Node, Projection, Union,
                                          structure_signature, to_dnf)
@@ -142,20 +143,27 @@ class QueryModel(Module):
         ``embed_batch`` call still sees one structure, and each group pays
         the embedding + distance matmuls once instead of per query.
         """
-        groups: dict[str, list[int]] = {}
-        for position, query in enumerate(queries):
-            groups.setdefault(structure_signature(query), []).append(position)
-        out: list[list[int]] = [[] for _ in queries]
-        with no_grad():
-            for positions in groups.values():
-                for start in range(0, len(positions), batch_size):
-                    chunk = positions[start:start + batch_size]
-                    embedding = self.embed_batch([queries[i] for i in chunk])
-                    distances = self.distance_to_all(embedding).data
-                    top = topk_rows(distances, top_k)
-                    for row, position in enumerate(chunk):
-                        out[position] = [int(e) for e in top[row]]
-        return out
+        tracer = get_tracer()
+        with tracer.span("model.answer_batch", queries=len(queries)):
+            groups: dict[str, list[int]] = {}
+            for position, query in enumerate(queries):
+                groups.setdefault(structure_signature(query),
+                                  []).append(position)
+            out: list[list[int]] = [[] for _ in queries]
+            with no_grad():
+                for positions in groups.values():
+                    for start in range(0, len(positions), batch_size):
+                        chunk = positions[start:start + batch_size]
+                        with tracer.span("model.embed", batch=len(chunk)):
+                            embedding = self.embed_batch(
+                                [queries[i] for i in chunk])
+                        with tracer.span("model.distance"):
+                            distances = self.distance_to_all(embedding).data
+                        with tracer.span("model.rank"):
+                            top = topk_rows(distances, top_k)
+                            for row, position in enumerate(chunk):
+                                out[position] = [int(e) for e in top[row]]
+            return out
 
     # ------------------------------------------------------------------
     # optional hooks used by the serving runtime (repro.serve)

@@ -16,6 +16,9 @@ import numpy as np
 
 from ..config import TrainConfig
 from ..nn import Adam
+from ..nn import modules as nn_modules
+from ..obs.profiler import ModuleTimer
+from ..obs.telemetry import CallbackList, ConsoleLogger, EpochStats
 from ..queries.dataset import QueryWorkload, batches
 from ..queries.sampler import GroundedQuery
 from .loss import group_penalty, halk_loss
@@ -31,6 +34,8 @@ class TrainingHistory:
 
     losses: list[float] = field(default_factory=list)
     epoch_losses: list[float] = field(default_factory=list)
+    #: wall-clock of each epoch (the Fig. 6b offline-time decomposition)
+    epoch_seconds: list[float] = field(default_factory=list)
     seconds: float = 0.0
 
     @property
@@ -52,14 +57,28 @@ class Trainer:
     gamma, xi:
         Loss margin and group-penalty weight.  Defaults are read from
         ``model.config`` when the model carries one.
+    callbacks:
+        Optional sequence of :class:`repro.obs.TrainerCallback` sinks
+        receiving per-epoch :class:`~repro.obs.EpochStats` (loss,
+        gradient norm, wall-clock, samples/sec, per-operator-network
+        time).  ``config.log_every > 0`` implicitly appends a
+        :class:`~repro.obs.ConsoleLogger` — the legacy epoch print line,
+        now an ordinary callback.
     """
 
     def __init__(self, model: QueryModel, workload: QueryWorkload,
                  config: TrainConfig | None = None,
-                 gamma: float | None = None, xi: float | None = None):
+                 gamma: float | None = None, xi: float | None = None,
+                 callbacks=None):
         self.model = model
         self.workload = workload
         self.config = config or TrainConfig()
+        sinks = list(callbacks) if callbacks else []
+        if self.config.log_every:
+            sinks.append(ConsoleLogger(self.config.log_every))
+        self.callbacks = CallbackList(sinks)
+        self._collect_stats = False
+        self._last_grad_norm = 0.0
         model_config = getattr(model, "config", None)
         self.gamma = gamma if gamma is not None else getattr(model_config,
                                                              "gamma", 9.0)
@@ -80,24 +99,62 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def train(self) -> TrainingHistory:
-        """Run the full loop; returns the loss history."""
+        """Run the full loop; returns the loss history.
+
+        With callbacks attached, each epoch additionally measures the
+        mean global gradient norm and — when no other module-call hook
+        is active — per-operator-network forward time, and publishes an
+        :class:`~repro.obs.EpochStats` event.  Without callbacks the
+        loop only records losses and per-epoch wall-clock, exactly as
+        cheap as before.
+        """
         history = TrainingHistory()
+        collect = len(self.callbacks) > 0
+        self._collect_stats = collect
+        self.callbacks.on_train_begin(self)
         started = time.perf_counter()
-        for epoch in range(self.config.epochs):
-            epoch_losses: list[float] = []
-            for structure in self.workload.structures():
-                queries = self.workload[structure]
-                for batch in batches(queries, self.config.batch_size,
-                                     rng=self.rng):
-                    loss_value = self.step(batch)
-                    epoch_losses.append(loss_value)
-                    history.losses.append(loss_value)
-            mean_loss = float(np.mean(epoch_losses))
-            history.epoch_losses.append(mean_loss)
-            if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
-                print(f"[{self.model.name}] epoch {epoch + 1}/"
-                      f"{self.config.epochs} loss {mean_loss:.4f}")
-        history.seconds = time.perf_counter() - started
+        try:
+            for epoch in range(self.config.epochs):
+                epoch_started = time.perf_counter()
+                epoch_losses: list[float] = []
+                grad_norms: list[float] = []
+                samples = 0
+                timer = None
+                if collect and nn_modules.get_call_hook() is None:
+                    timer = ModuleTimer()
+                    timer.__enter__()
+                try:
+                    for structure in self.workload.structures():
+                        queries = self.workload[structure]
+                        for batch in batches(queries, self.config.batch_size,
+                                             rng=self.rng):
+                            loss_value = self.step(batch)
+                            epoch_losses.append(loss_value)
+                            history.losses.append(loss_value)
+                            samples += len(batch)
+                            if collect:
+                                grad_norms.append(self._last_grad_norm)
+                finally:
+                    if timer is not None:
+                        timer.__exit__(None, None, None)
+                epoch_seconds = time.perf_counter() - epoch_started
+                mean_loss = float(np.mean(epoch_losses))
+                history.epoch_losses.append(mean_loss)
+                history.epoch_seconds.append(epoch_seconds)
+                if collect:
+                    self.callbacks.on_epoch_end(self, EpochStats(
+                        epoch=epoch + 1, epochs=self.config.epochs,
+                        loss=mean_loss,
+                        grad_norm=float(np.mean(grad_norms))
+                        if grad_norms else 0.0,
+                        seconds=epoch_seconds, samples=samples,
+                        steps=len(epoch_losses),
+                        operator_seconds=timer.seconds_by_module()
+                        if timer is not None else {}))
+            history.seconds = time.perf_counter() - started
+            self.callbacks.on_train_end(self, history)
+        finally:
+            self._collect_stats = False
         return history
 
     def step(self, batch: list[GroundedQuery]) -> float:
@@ -129,6 +186,12 @@ class Trainer:
             if penalty is not None:
                 loss = loss + self.config.size_regularization * penalty
         loss.backward()
+        if self._collect_stats:
+            total = 0.0
+            for param in self.model.parameters():
+                if param.grad is not None:
+                    total += float(np.sum(param.grad * param.grad))
+            self._last_grad_norm = float(np.sqrt(total))
         for optimizer in self.optimizers:
             optimizer.step()
         return float(loss.data)
@@ -173,7 +236,8 @@ class CurriculumPhase:
 def train_curriculum(model: QueryModel, workload: QueryWorkload,
                      phases: list[CurriculumPhase],
                      gamma: float | None = None,
-                     xi: float | None = None) -> TrainingHistory:
+                     xi: float | None = None,
+                     callbacks=None) -> TrainingHistory:
     """Train through a sequence of phases (link prediction first).
 
     The geometric backbones (arcs, cones) converge to a *compositional*
@@ -200,9 +264,10 @@ def train_curriculum(model: QueryModel, workload: QueryWorkload,
                 raise ValueError(f"no workload structures match "
                                  f"{phase.structures}")
         trainer = Trainer(model, stage_workload, phase.config,
-                          gamma=gamma, xi=xi)
+                          gamma=gamma, xi=xi, callbacks=callbacks)
         history = trainer.train()
         merged.losses.extend(history.losses)
         merged.epoch_losses.extend(history.epoch_losses)
+        merged.epoch_seconds.extend(history.epoch_seconds)
         merged.seconds += history.seconds
     return merged

@@ -15,7 +15,26 @@ from . import functional as F
 from . import init
 from .tensor import Tensor
 
-__all__ = ["Parameter", "Module", "Linear", "MLP", "Sequential", "Embedding"]
+__all__ = ["Parameter", "Module", "Linear", "MLP", "Sequential", "Embedding",
+           "set_call_hook", "get_call_hook"]
+
+# Optional observability hook around every Module.__call__.  While set
+# (by repro.obs.profiler), forward passes are routed through
+# ``hook(module, args, kwargs)`` — which must call ``module.forward`` —
+# giving per-operator-network timing; when None (the default) the call
+# costs one global read and a branch.
+_CALL_HOOK = None
+
+
+def set_call_hook(hook) -> None:
+    """Install/remove the module-call hook (None to remove)."""
+    global _CALL_HOOK
+    _CALL_HOOK = hook
+
+
+def get_call_hook():
+    """The active module-call hook, or None."""
+    return _CALL_HOOK
 
 
 class Parameter(Tensor):
@@ -98,7 +117,10 @@ class Module:
             param.data[...] = values
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        hook = _CALL_HOOK
+        if hook is None:
+            return self.forward(*args, **kwargs)
+        return hook(self, args, kwargs)
 
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
         raise NotImplementedError
@@ -137,10 +159,12 @@ class Sequential(Module):
         return x
 
 
+# Late-bound so the profiler's patching of ``functional`` attributes is
+# visible to MLPs constructed before the profiler was installed.
 _ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
-    "relu": F.relu,
-    "tanh": F.tanh,
-    "sigmoid": F.sigmoid,
+    "relu": lambda x: F.relu(x),
+    "tanh": lambda x: F.tanh(x),
+    "sigmoid": lambda x: F.sigmoid(x),
 }
 
 

@@ -1,0 +1,35 @@
+"""``repro.obs`` — tracing, profiling, and training telemetry.
+
+The observability layer used by every tier of the stack:
+
+* :mod:`repro.obs.trace` — hierarchical, thread-safe span tracing wired
+  through the serve runtime, the SPARQL engine, and model inference;
+* :mod:`repro.obs.profiler` — opt-in per-op autograd profiling of
+  ``repro.nn`` (forward/backward time, allocations, per-module cost);
+* :mod:`repro.obs.telemetry` — the trainer's callback/event API;
+* :mod:`repro.obs.export` — Chrome trace-event and JSON-Lines writers.
+
+All tracing instrumentation is compiled down to near-no-ops unless the
+module-level flag is switched on with :func:`enable` (or scoped with
+``with obs.enabled(): ...``); the profiler only costs anything while a
+:class:`Profiler` context is entered.
+"""
+
+from .export import (JsonlWriter, chrome_trace_events, format_span_tree,
+                     span_to_dict, write_chrome_trace)
+from .profiler import ModuleStat, ModuleTimer, OpStat, Profiler
+from .telemetry import (CallbackList, ConsoleLogger, EpochStats,
+                        JsonlTelemetry, MetricsCallback, TrainerCallback)
+from .trace import (Span, SpanStats, Tracer, disable, enable, enabled,
+                    get_tracer, is_enabled, set_tracer)
+
+__all__ = [
+    "Span", "SpanStats", "Tracer",
+    "enable", "disable", "enabled", "is_enabled",
+    "get_tracer", "set_tracer",
+    "Profiler", "ModuleTimer", "OpStat", "ModuleStat",
+    "TrainerCallback", "CallbackList", "ConsoleLogger", "JsonlTelemetry",
+    "MetricsCallback", "EpochStats",
+    "JsonlWriter", "chrome_trace_events", "write_chrome_trace",
+    "span_to_dict", "format_span_tree",
+]

@@ -1,0 +1,326 @@
+"""Hierarchical, thread-safe tracing.
+
+A :class:`Tracer` records a tree of timed :class:`Span` objects.  Within
+one thread, spans nest automatically through a thread-local stack::
+
+    with tracer.span("embed", structure=sig):
+        with tracer.span("gather"):
+            ...
+
+Work that crosses threads (the serve runtime hands requests from the
+submitting thread to a batcher thread to a worker pool) attaches
+explicitly: the submitter creates a root with :meth:`Tracer.start_span`,
+carries it on the request object, and the worker either *activates* it
+(``with tracer.activate(root): ...``) so new spans nest under it, or
+records pre-timed child intervals with :meth:`Tracer.record` — the way a
+batched stage attributes one measured interval to every request in the
+batch.
+
+Everything is guarded by the module-level enabled flag (:func:`enable` /
+:func:`disable`): while disabled, :meth:`Tracer.span` returns a shared
+no-op context manager and :meth:`Tracer.start_span` returns None, so
+instrumented code paths cost one global read and a function call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span", "SpanStats", "Tracer", "enable", "disable", "is_enabled",
+    "enabled", "get_tracer", "set_tracer",
+]
+
+# Module-level switch: instrumentation throughout the stack checks this
+# once per call and short-circuits to a no-op when False.
+_ENABLED = False
+
+
+def enable() -> None:
+    """Turn tracing on globally."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn tracing off globally (instrumentation becomes near-no-op)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def is_enabled() -> bool:
+    """Whether tracing is currently enabled."""
+    return _ENABLED
+
+
+@contextmanager
+def enabled(flag: bool = True):
+    """Scoped enable/disable: ``with obs.enabled(): ...``."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = flag
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+@dataclass
+class Span:
+    """One timed interval in a trace tree."""
+
+    name: str
+    start: float
+    end: float | None = None
+    span_id: int = 0
+    parent_id: int | None = None
+    thread: str = ""
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def duration_ms(self) -> float:
+        return 1000.0 * self.duration
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate of all finished spans sharing one name (a "stage")."""
+
+    count: int
+    total_ms: float
+    mean_ms: float
+    max_ms: float
+
+
+class _NullContext:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter, finishes it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+
+class _Activation:
+    """Context manager pushing an existing span onto this thread's stack."""
+
+    __slots__ = ("_tracer", "_span", "_pushed")
+
+    def __init__(self, tracer: "Tracer", span: Span | None):
+        self._tracer = tracer
+        self._span = span
+        self._pushed = False
+
+    def __enter__(self) -> Span | None:
+        if self._span is not None:
+            self._tracer._stack().append(self._span)
+            self._pushed = True
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._pushed:
+            stack = self._tracer._stack()
+            if self._span in stack:
+                # pop down to (and including) the activated span; inner
+                # spans left open by an exception are abandoned unfinished
+                while stack and stack.pop() is not self._span:
+                    pass
+        return False
+
+
+class Tracer:
+    """Collects span trees; thread-safe, bounded memory.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (injectable for tests).
+    max_spans:
+        Finished spans are kept in a ring buffer of this size; stage
+        statistics (:meth:`stage_stats`) aggregate over the whole
+        lifetime regardless.
+    """
+
+    def __init__(self, clock=time.perf_counter, max_spans: int = 65536):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._totals: dict[str, list[float]] = {}  # name -> [count, total, max]
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> "_SpanContext | _NullContext":
+        """Context manager timing one stage, nested under the current span."""
+        if not _ENABLED:
+            return _NULL_CONTEXT
+        return _SpanContext(self, name, attrs)
+
+    def start_span(self, name: str, parent: Span | None = None,
+                   **attrs) -> Span | None:
+        """Begin a span without activating it (for cross-thread roots).
+
+        Returns None while tracing is disabled; pair with
+        :meth:`end_span`, which tolerates None.
+        """
+        if not _ENABLED:
+            return None
+        if parent is None:
+            parent = self.current()
+        return Span(name=name, start=self._clock(), span_id=next(self._ids),
+                    parent_id=None if parent is None else parent.span_id,
+                    thread=threading.current_thread().name, attrs=dict(attrs))
+
+    def end_span(self, span: Span | None) -> None:
+        """Finish a span produced by :meth:`start_span` (None is a no-op)."""
+        if span is None or span.end is not None:
+            return
+        span.end = self._clock()
+        self._store(span)
+
+    def record(self, name: str, start: float, end: float,
+               parent: Span | None = None, **attrs) -> Span | None:
+        """Record a pre-timed interval (e.g. one batched stage shared by
+        several request roots)."""
+        if not _ENABLED:
+            return None
+        span = Span(name=name, start=start, end=end,
+                    span_id=next(self._ids),
+                    parent_id=None if parent is None else parent.span_id,
+                    thread=threading.current_thread().name, attrs=dict(attrs))
+        self._store(span)
+        return span
+
+    def activate(self, span: Span | None) -> "_Activation":
+        """Make ``span`` the current parent for this thread's new spans.
+
+        Accepts None (the disabled-mode :meth:`start_span` result) and
+        does nothing in that case, so call sites need no guard.
+        """
+        return _Activation(self, span)
+
+    def current(self) -> Span | None:
+        """The innermost active span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def finished(self) -> list[Span]:
+        """Snapshot of finished spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def stage_stats(self) -> dict[str, SpanStats]:
+        """Lifetime per-stage aggregates, keyed by span name."""
+        with self._lock:
+            return {name: SpanStats(int(count), 1000.0 * total,
+                                    1000.0 * total / count if count else 0.0,
+                                    1000.0 * peak)
+                    for name, (count, total, peak)
+                    in sorted(self._totals.items())}
+
+    def reset(self) -> None:
+        """Drop finished spans and aggregates (active spans unaffected)."""
+        with self._lock:
+            self._finished.clear()
+            self._totals.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, name: str, attrs: dict) -> Span:
+        parent = self.current()
+        span = Span(name=name, start=self._clock(),
+                    span_id=next(self._ids),
+                    parent_id=None if parent is None else parent.span_id,
+                    thread=threading.current_thread().name, attrs=attrs)
+        self._stack().append(span)
+        return span
+
+    def _close(self, span: Span | None) -> None:
+        if span is None:
+            return
+        span.end = self._clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit: drop down to it
+            while stack and stack.pop() is not span:
+                pass
+        self._store(span)
+
+    def _store(self, span: Span) -> None:
+        duration = span.duration
+        with self._lock:
+            self._finished.append(span)
+            entry = self._totals.get(span.name)
+            if entry is None:
+                self._totals[span.name] = [1, duration, duration]
+            else:
+                entry[0] += 1
+                entry[1] += duration
+                entry[2] = max(entry[2], duration)
+
+
+# The process-wide default tracer used by the instrumented layers
+# (serve runtime, SPARQL engine, model inference, trainer).
+_DEFAULT = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _DEFAULT
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the default tracer (returns the previous one)."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = tracer
+    return previous

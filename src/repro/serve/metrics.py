@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.trace import SpanStats
+
 __all__ = [
     "Counter", "Gauge", "Histogram", "HistogramStats", "StatsSnapshot",
     "MetricsRegistry", "PeriodicReporter", "format_snapshot",
@@ -96,12 +98,21 @@ class Histogram:
         with self._lock:
             return self._count
 
+    def reset(self) -> None:
+        """Drop all samples and the lifetime count (fresh histogram)."""
+        with self._lock:
+            self._samples.clear()
+            self._count = 0
+
     def stats(self) -> HistogramStats:
         with self._lock:
             samples = np.array(self._samples, dtype=np.float64)
             count = self._count
+        # Non-finite observations (a NaN latency from a poisoned clock
+        # delta) would make every percentile NaN; keep the summary sane.
+        samples = samples[np.isfinite(samples)]
         if samples.size == 0:
-            return HistogramStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return HistogramStats(count, 0.0, 0.0, 0.0, 0.0, 0.0)
         p50, p95, p99 = np.percentile(samples, (50, 95, 99))
         return HistogramStats(count, float(samples.mean()), float(p50),
                               float(p95), float(p99), float(samples.max()))
@@ -114,6 +125,9 @@ class StatsSnapshot:
     counters: dict[str, int] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
     histograms: dict[str, HistogramStats] = field(default_factory=dict)
+    #: per-stage span timings (from a repro.obs tracer), e.g.
+    #: ``{"serve.embed": SpanStats(...), "serve.rank": ...}``
+    stages: dict[str, SpanStats] = field(default_factory=dict)
 
     def hit_rate(self, cache: str) -> float:
         """Hit fraction of ``<cache>_hits`` / ``<cache>_misses`` counters."""
@@ -206,8 +220,20 @@ def format_snapshot(snapshot: StatsSnapshot, title: str = "serve stats") -> str:
         lines.append("histograms:")
         for name in sorted(snapshot.histograms):
             h = snapshot.histograms[name]
+            if h.count == 0 or not np.isfinite(
+                    (h.mean, h.p50, h.p95, h.p99, h.max)).all():
+                lines.append(f"  {name:<16} count={h.count:<7d} "
+                             f"(no samples)")
+                continue
             lines.append(
                 f"  {name:<16} count={h.count:<7d} mean={h.mean:>8.3f} "
                 f"p50={h.p50:>8.3f} p95={h.p95:>8.3f} p99={h.p99:>8.3f} "
                 f"max={h.max:>8.3f}")
+    if snapshot.stages:
+        lines.append("stages (span timings, ms):")
+        for name in sorted(snapshot.stages):
+            s = snapshot.stages[name]
+            lines.append(
+                f"  {name:<20} count={s.count:<7d} mean={s.mean_ms:>8.3f} "
+                f"total={s.total_ms:>10.1f} max={s.max_ms:>8.3f}")
     return "\n".join(lines)

@@ -32,6 +32,7 @@ import numpy as np
 from ..core.model import QueryModel, topk_rows
 from ..kg.graph import KnowledgeGraph
 from ..nn import no_grad
+from ..obs.trace import Span, Tracer, get_tracer
 from ..queries.computation_graph import Node
 from ..queries.executor import execute
 from .batcher import MicroBatcher, ServeFuture, ServeRequest
@@ -88,6 +89,10 @@ class _Pending(ServeRequest):
 
     retries_left: int = 0
     submitted_at: float = 0.0
+    #: tracing: the request's root span and its open queue-wait child
+    #: (both None when tracing is disabled)
+    trace_root: Span | None = None
+    trace_queue: Span | None = None
 
 
 class ServeRuntime:
@@ -105,16 +110,24 @@ class ServeRuntime:
         overruns, where skipping the full ranking is the point).
     config, clock:
         Runtime knobs and an injectable monotonic clock (tests).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; defaults to the process-wide
+        tracer.  While ``repro.obs`` tracing is enabled, every request
+        produces a span tree (request → canonicalise / cache_lookup /
+        queue / embed / distance / rank, or the fallback stages), and
+        :meth:`stats` folds per-stage timings into the snapshot.
     """
 
     def __init__(self, model: QueryModel, kg: KnowledgeGraph | None = None,
                  index=None, config: ServeConfig | None = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 tracer: Tracer | None = None):
         self.model = model
         self.kg = kg
         self.index = index
         self.config = config or ServeConfig()
         self._clock = clock
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.metrics = MetricsRegistry(self.config.histogram_window)
         self._latency = self.metrics.histogram("latency_ms")
         self._batch_sizes = self.metrics.histogram("batch_size")
@@ -144,15 +157,23 @@ class ServeRuntime:
         """Enqueue one query; returns a future resolving to ServeResult."""
         self.metrics.counter("requests").inc()
         now = self._clock()
-        canonical = canonicalize(query)
-        key = serialize(canonical)
-        cached = self._answers.get((key, top_k))
+        tracer = self.tracer
+        root = tracer.start_span("serve.request", top_k=top_k)
+        with tracer.activate(root):
+            with tracer.span("serve.canonicalise"):
+                canonical = canonicalize(query)
+                key = serialize(canonical)
+            with tracer.span("serve.cache_lookup"):
+                cached = self._answers.get((key, top_k))
         if cached is not None:
             self.metrics.counter("answer_cache_hits").inc()
             future = ServeFuture()
             future.set_result(ServeResult(list(cached), "answer_cache",
                                           latency=self._clock() - now))
             self._latency.observe(1000.0 * (self._clock() - now))
+            if root is not None:
+                root.attrs["source"] = "answer_cache"
+                tracer.end_span(root)
             return future
         self.metrics.counter("answer_cache_misses").inc()
         if deadline is None:
@@ -162,6 +183,11 @@ class ServeRuntime:
             group_key=batch_key(canonical),
             deadline=None if deadline is None else now + deadline,
             retries_left=self.config.max_retries, submitted_at=now)
+        if root is not None:
+            root.attrs["structure"] = request.group_key
+            request.trace_root = root
+            request.trace_queue = tracer.start_span("serve.queue",
+                                                    parent=root)
         self._batcher.submit(request)
         return request.future
 
@@ -179,7 +205,7 @@ class ServeRuntime:
         return [f.result(timeout) for f in futures]
 
     def stats(self) -> StatsSnapshot:
-        """Current metrics, with cache tier stats folded in."""
+        """Current metrics, with cache tiers and span stages folded in."""
         for name, cache in (("answer_cache", self._answers),
                             ("embedding_cache", self._embeddings)):
             stats = cache.stats()
@@ -190,6 +216,9 @@ class ServeRuntime:
         snapshot.counters["embedding_cache_misses"] = emb["misses"]
         snapshot.counters["answer_cache_expirations"] = \
             self._answers.stats()["expirations"]
+        snapshot.stages = {name: stage for name, stage
+                           in self.tracer.stage_stats().items()
+                           if name.startswith("serve.")}
         return snapshot
 
     def close(self) -> None:
@@ -218,6 +247,8 @@ class ServeRuntime:
     def _execute_batch(self, batch: list[_Pending]) -> None:
         self.metrics.counter("batches").inc()
         self._batch_sizes.observe(len(batch))
+        for request in batch:  # queue wait ends when execution starts
+            self.tracer.end_span(request.trace_queue)
         now = self._clock()
         live: list[_Pending] = []
         for request in batch:
@@ -241,29 +272,55 @@ class ServeRuntime:
             self._fallback(request, reason="failure")
 
     def _model_answer(self, batch: list[_Pending]) -> None:
-        """The happy path: embedding tier, then one batched ranking."""
+        """The happy path: embedding tier, then one batched ranking.
+
+        Batched stages are timed once and the interval recorded as a
+        child span of *every* participating request's root, so each
+        request's trace tree stays complete.
+        """
+        tracer = self.tracer
         with no_grad():
             rows: list[tuple[_Pending, np.ndarray]] = []
             misses: list[_Pending] = []
             for request in batch:
                 embedding = self._embeddings.get(request.cache_key)
                 if embedding is not None:
-                    rows.append((request,
-                                 self.model.distance_to_all(embedding)
-                                 .data[0]))
+                    started = time.perf_counter()
+                    row = self.model.distance_to_all(embedding).data[0]
+                    if request.trace_root is not None:
+                        tracer.record("serve.distance", started,
+                                      time.perf_counter(),
+                                      parent=request.trace_root,
+                                      embedding_cached=True)
+                    rows.append((request, row))
                 else:
                     misses.append(request)
             if misses:
+                embed_start = time.perf_counter()
                 embedding = self.model.embed_batch(
                     [r.query for r in misses])
+                embed_end = time.perf_counter()
                 distances = self.model.distance_to_all(embedding).data
+                distance_end = time.perf_counter()
                 for i, request in enumerate(misses):
                     sliced = self.model.slice_embedding(embedding, i)
                     if sliced is not None:
                         self._embeddings.put(request.cache_key, sliced)
+                    if request.trace_root is not None:
+                        tracer.record("serve.embed", embed_start, embed_end,
+                                      parent=request.trace_root,
+                                      batch_size=len(misses))
+                        tracer.record("serve.distance", embed_end,
+                                      distance_end,
+                                      parent=request.trace_root,
+                                      batch_size=len(misses))
                     rows.append((request, distances[i]))
         for request, distance_row in rows:
+            started = time.perf_counter()
             ids = [int(e) for e in topk_rows(distance_row, request.top_k)]
+            if request.trace_root is not None:
+                tracer.record("serve.rank", started, time.perf_counter(),
+                              parent=request.trace_root)
             self._resolve(request, ids, source="model")
 
     # ------------------------------------------------------------------
@@ -276,14 +333,23 @@ class ServeRuntime:
         paths = (self._lsh_answer, self._exact_answer) \
             if reason == "deadline" else (self._exact_answer,)
         for path in paths:
+            started = time.perf_counter()
             try:
                 result = path(request)
             except Exception:
                 result = None
             if result is not None:
+                if request.trace_root is not None:
+                    self.tracer.record("serve.fallback", started,
+                                       time.perf_counter(),
+                                       parent=request.trace_root,
+                                       reason=reason, path=result[1])
                 self._resolve(request, result[0], source=result[1])
                 return
         self.metrics.counter("errors").inc()
+        if request.trace_root is not None:
+            request.trace_root.attrs.update(source="error", reason=reason)
+            self.tracer.end_span(request.trace_root)
         request.future.set_exception(ServeError(
             f"request failed ({reason}) and no fallback path succeeded"))
 
@@ -320,4 +386,7 @@ class ServeRuntime:
         self._latency.observe(1000.0 * latency)
         if source == "model":
             self._answers.put((request.cache_key, request.top_k), ids)
+        if request.trace_root is not None:
+            request.trace_root.attrs["source"] = source
+            self.tracer.end_span(request.trace_root)
         request.future.set_result(ServeResult(ids, source, latency))

@@ -19,6 +19,7 @@ from ..core.model import QueryModel, topk_rows
 from ..kg.graph import KnowledgeGraph
 from ..matching.gfinder import GFinder
 from ..nn import no_grad
+from ..obs.trace import get_tracer
 from ..queries.computation_graph import Node
 from .adaptor import Adaptor
 from .parser import SelectQuery, parse_sparql
@@ -82,13 +83,18 @@ class SparqlEngine:
         if self.model is None:
             raise RuntimeError("no embedding model configured; use "
                                "answer_exact() or pass a model")
-        graph = self.compile(sparql)
-        ids = None
-        if index is not None:
-            ids = self._answer_with_index(graph, index, top_k)
-        if ids is None:
-            ids = self.model.answer(graph, top_k=top_k)
-        return self._result(ids, graph)
+        tracer = get_tracer()
+        with tracer.span("sparql.answer", top_k=top_k):
+            with tracer.span("sparql.compile"):
+                graph = self.compile(sparql)
+            ids = None
+            if index is not None:
+                with tracer.span("sparql.index_candidates"):
+                    ids = self._answer_with_index(graph, index, top_k)
+            if ids is None:
+                ids = self.model.answer(graph, top_k=top_k)
+            with tracer.span("sparql.names"):
+                return self._result(ids, graph)
 
     def _answer_with_index(self, graph: Node, index,
                            top_k: int) -> list[int] | None:

@@ -89,3 +89,53 @@ class TestPeriodicReporter:
     def test_interval_validation(self):
         with pytest.raises(ValueError):
             PeriodicReporter(MetricsRegistry(), lambda s: None, interval=0)
+
+
+class TestReset:
+    def test_reset_drops_samples_and_count(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        histogram.reset()
+        assert histogram.count == 0
+        stats = histogram.stats()
+        assert stats.count == 0 and stats.mean == 0.0
+
+    def test_observing_after_reset_starts_fresh(self):
+        histogram = Histogram()
+        histogram.observe(100.0)
+        histogram.reset()
+        histogram.observe(4.0)
+        assert histogram.stats().max == 4.0
+
+
+class TestSnapshotRendering:
+    def test_zero_sample_histogram_renders_no_samples(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency_ms")  # created, never observed
+        text = format_snapshot(registry.snapshot())
+        assert "(no samples)" in text
+        assert "nan" not in text.lower()
+
+    def test_non_finite_samples_do_not_poison_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_ms")
+        histogram.observe(float("nan"))
+        histogram.observe(3.0)
+        stats = registry.snapshot().histograms["latency_ms"]
+        assert stats.count == 2  # lifetime count keeps the NaN
+        assert stats.p50 == 3.0  # percentiles ignore it
+        assert "nan" not in format_snapshot(registry.snapshot()).lower()
+
+    def test_stages_section_rendered(self):
+        from repro import obs
+
+        with obs.enabled():
+            tracer = obs.Tracer()
+            tracer.record("serve.embed", 0.0, 0.010)
+        registry = MetricsRegistry()
+        snapshot = registry.snapshot()
+        snapshot.stages = tracer.stage_stats()
+        text = format_snapshot(snapshot)
+        assert "stages (span timings, ms):" in text
+        assert "serve.embed" in text

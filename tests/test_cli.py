@@ -154,3 +154,57 @@ class TestServeCommand:
             main(["serve", "--dataset", "FB237", "--method", "HaLk",
                   "--dim", "8", "--scale", "0.3",
                   "--model-dir", str(tmp_path)])
+
+
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.structure == "3p"
+        assert args.out == "trace.json"
+        assert not args.profile
+
+    def test_trace_emits_chrome_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)]
+        assert main(["trace", *common, "--train-if-missing",
+                     "--train-epochs", "2", "--train-queries", "5",
+                     "--structure", "3p", "--top-k", "3",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out
+        payload = json.loads(out_path.read_text())
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        # acceptance: a 3-hop query covers at least 5 distinct stages
+        assert len({e["name"] for e in events}) >= 5
+        # tracing must be switched back off after the command
+        from repro import obs
+        assert not obs.is_enabled()
+
+    def test_trace_sparql_with_profile(self, tmp_path, capsys):
+        from repro.kg import load_dataset
+        common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)]
+        main(["train", *common, "--epochs", "2", "--queries", "5"])
+        capsys.readouterr()
+        splits = load_dataset("FB237", scale=0.3, seed=0)
+        head, rel, _ = sorted(splits.train.triples)[0]
+        sparql = (f"SELECT ?x WHERE {{ {splits.train.entity_names[head]} "
+                  f"{splits.train.relation_names[rel]} ?x }}")
+        assert main(["trace", *common, "--sparql", sparql, "--profile",
+                     "--out", ""]) == 0
+        out = capsys.readouterr().out
+        assert "sparql.answer" in out
+        assert "fwd ms" in out  # profiler table
+
+    def test_train_telemetry_stream(self, tmp_path, capsys):
+        telemetry = tmp_path / "train.jsonl"
+        common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)]
+        assert main(["train", *common, "--epochs", "3", "--queries", "5",
+                     "--telemetry", str(telemetry)]) == 0
+        events = [json.loads(line)
+                  for line in telemetry.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "train_begin" and kinds[-1] == "train_end"
+        assert kinds.count("epoch") == 3
