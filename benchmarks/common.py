@@ -16,7 +16,6 @@ Profiles (select with ``REPRO_PROFILE``):
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import time
@@ -24,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import ckpt
 from repro.baselines import (ConEModel, MLPMixModel, NewLookModel, HalkV1,
                              HalkV2, HalkV3, UnsupportedOperatorError)
 from repro.config import ModelConfig, TrainConfig
@@ -161,10 +161,7 @@ class ExperimentContext:
                 eval_queries_per_structure=5, seed=0)
             history = Trainer(model, bundle.train, self.profile.train).train()
             self._train_seconds[key] = history.seconds
-            np.savez(weights_path, **model.state_dict())
-            meta_path.write_text(json.dumps(
-                {"train_seconds": history.seconds,
-                 "final_loss": history.final_loss}))
+            self._save_cached(weights_path, meta_path, model, history)
         self._models[key] = model
         return model
 
@@ -179,16 +176,29 @@ class ExperimentContext:
     def _load_cached(weights_path, meta_path):
         """State dict + meta from disk, or None when absent/corrupt.
 
-        A truncated npz (interrupted run, bad snapshot) must degrade to
-        retraining, not crash the whole harness.
+        Writes go through the ``repro.ckpt`` atomic writer, so a crash
+        mid-write can no longer produce a torn npz — but an old-format or
+        checksum-failing cache entry must still degrade to retraining,
+        not crash the whole harness.
         """
-        if not (weights_path.exists() and meta_path.exists()):
-            return None
+        del meta_path  # metadata rides inside the checkpoint manifest
         try:
-            return (dict(np.load(weights_path)),
-                    json.loads(meta_path.read_text()))
-        except Exception:
+            checkpoint = ckpt.load_checkpoint(weights_path)
+            return checkpoint.state["model"], checkpoint.manifest.meta
+        except (ckpt.CheckpointError, KeyError):
             return None
+
+    @staticmethod
+    def _save_cached(weights_path, meta_path, model, history) -> None:
+        """Atomically persist one trained model plus its manifest meta."""
+        meta = {"train_seconds": history.seconds,
+                "final_loss": history.final_loss}
+        manifest = ckpt.save_checkpoint(weights_path,
+                                        {"model": model.state_dict()},
+                                        meta=meta)
+        # informational sidecar; loading trusts the embedded manifest
+        ckpt.atomic_write_json(meta_path,
+                               dict(meta, checksum=manifest.checksum))
 
     def model(self, dataset: str, method: str) -> QueryModel:
         """A trained model, loaded from the disk cache when available."""
@@ -207,10 +217,7 @@ class ExperimentContext:
                                                self.workloads(dataset).train)
             history = Trainer(model, workload, self.profile.train).train()
             self._train_seconds[key] = history.seconds
-            np.savez(weights_path, **model.state_dict())
-            meta_path.write_text(json.dumps(
-                {"train_seconds": history.seconds,
-                 "final_loss": history.final_loss}))
+            self._save_cached(weights_path, meta_path, model, history)
         self._models[key] = model
         return model
 

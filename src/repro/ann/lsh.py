@@ -46,6 +46,13 @@ class LshIndex:
             raise ValueError("points must be (N, d)")
         if num_tables <= 0 or bits_per_table <= 0:
             raise ValueError("num_tables and bits_per_table must be positive")
+        if bits_per_table >= 63:
+            # 1 << 63 overflows int64, silently wrapping to negative
+            # powers and colliding bucket keys; 62 bits keeps every key
+            # (at most 2^62 - 1) inside int64.
+            raise ValueError(
+                f"bits_per_table must be < 63 (got {bits_per_table}): "
+                f"bucket keys are int64 and 1 << 63 overflows")
         self.points = np.asarray(points, dtype=np.float64)
         self.num_tables = num_tables
         self.bits_per_table = bits_per_table

@@ -1,0 +1,32 @@
+"""Crash-safe persistence: atomic writes, manifests, retention, resume.
+
+The offline stage is hours of training at paper scale (Fig. 6b); this
+package makes that investment durable:
+
+* :mod:`repro.ckpt.atomic` — tmp-write + fsync + ``os.replace``, so a
+  crash mid-write never corrupts the previous good file;
+* :mod:`repro.ckpt.io` — the single-file checkpoint format: one npz with
+  an embedded versioned manifest (format version, SHA-256 content
+  checksum, run metadata), verified on load;
+* :mod:`repro.ckpt.manager` — numbered checkpoints with keep-last-K +
+  keep-best retention;
+* :mod:`repro.ckpt.callback` — the trainer callback producing resumable
+  checkpoints (model + optimizer moments + RNG state + history) and the
+  :func:`restore_training` inverse used by ``cli train --resume``.
+
+``ServeRuntime.reload`` consumes the same format for hot model reloads.
+"""
+
+from .atomic import atomic_write_bytes, atomic_write_json, atomic_write_text
+from .callback import CheckpointCallback, restore_training, training_state
+from .io import (FORMAT_VERSION, Checkpoint, CheckpointError, Manifest,
+                 load_checkpoint, read_manifest, save_checkpoint)
+from .manager import CheckpointManager
+
+__all__ = [
+    "FORMAT_VERSION", "Checkpoint", "CheckpointError", "Manifest",
+    "CheckpointCallback", "CheckpointManager",
+    "atomic_write_bytes", "atomic_write_json", "atomic_write_text",
+    "load_checkpoint", "read_manifest", "save_checkpoint",
+    "restore_training", "training_state",
+]

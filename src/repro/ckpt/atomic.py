@@ -1,0 +1,71 @@
+"""Crash-safe file writes: tmp file in the same directory + ``os.replace``.
+
+A checkpoint that tears on a crash is worse than no checkpoint — it
+poisons the *previous* good state (``benchmarks/common.py`` had to grow a
+"retrain on corrupt npz" workaround for exactly this).  Every byte the
+persistence layer emits therefore goes through :func:`atomic_write_bytes`:
+
+1. write to ``<name>.tmp.<pid>`` **in the destination directory** (same
+   filesystem, so the final rename is atomic);
+2. flush and ``os.fsync`` the tmp file, so the data is durable before it
+   can become visible;
+3. ``os.replace`` onto the destination — atomic on POSIX and Windows;
+4. best-effort ``fsync`` of the directory, so the rename itself survives
+   a power cut.
+
+A crash at any point leaves either the old file or the new file, never a
+mixture, and never a visible half-written destination.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+__all__ = ["atomic_write_bytes", "atomic_write_json", "atomic_write_text"]
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Flush the directory entry; not supported on all platforms."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - directory fsync unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` so a crash never leaves a torn file."""
+    path = pathlib.Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # Leave no droppings behind; the destination is untouched either
+        # way (the replace is the only step that makes the write visible).
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Atomic UTF-8 text write."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | os.PathLike, payload) -> None:
+    """Atomic JSON write (sorted keys, so files diff cleanly)."""
+    atomic_write_text(path, json.dumps(payload, sort_keys=True, indent=2))

@@ -1,0 +1,95 @@
+"""Periodic checkpointing as a trainer callback, plus resume helpers.
+
+:class:`CheckpointCallback` plugs into the ``repro.obs`` trainer event
+API: every ``every`` epochs (and at train end) it snapshots the model
+parameters *and* the full trainer state — optimizer moments, epoch
+cursor, RNG bit-generator state, loss history — through the atomic
+writer, with keep-last-K + keep-best retention.
+
+:func:`training_state` / :func:`restore_training` are the symmetric
+pack/unpack used by the callback and by ``cli train --resume``; restoring
+and continuing reproduces the uninterrupted run's losses bit-for-bit
+(see DESIGN.md on why the RNG state must be part of the checkpoint).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..obs.telemetry import TrainerCallback
+from .io import Checkpoint, CheckpointError, load_checkpoint
+from .manager import CheckpointManager
+
+__all__ = ["CheckpointCallback", "training_state", "restore_training"]
+
+
+def training_state(trainer) -> dict:
+    """The complete resumable state of a trainer and its model."""
+    return {"model": trainer.model.state_dict(),
+            "trainer": trainer.state_dict()}
+
+
+def restore_training(trainer, path: str | os.PathLike,
+                     expect: dict | None = None) -> Checkpoint:
+    """Load ``path`` into ``trainer`` (model + optimizers + RNG + history).
+
+    Validation happens before any mutation: the checkpoint must carry
+    both state trees and pass the manifest/meta checks, so a failed
+    restore leaves the trainer untouched.
+    """
+    checkpoint = load_checkpoint(path, expect=expect)
+    state = checkpoint.state
+    if "model" not in state or "trainer" not in state:
+        raise CheckpointError(
+            f"{path} is not a training checkpoint (missing model/trainer "
+            f"state); was it saved with save_checkpoint directly?")
+    trainer.model.load_state_dict(state["model"])
+    trainer.load_state_dict(state["trainer"])
+    return checkpoint
+
+
+class CheckpointCallback(TrainerCallback):
+    """Write a crash-safe training checkpoint every ``every`` epochs.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory (one per run).
+    every:
+        Epoch interval between checkpoints (>= 1).
+    keep_last, keep_best:
+        Retention policy, see :class:`~repro.ckpt.CheckpointManager`.
+    meta:
+        Extra manifest metadata stamped into every checkpoint (dataset,
+        method, dim, scale ...) and validated again on resume.
+    """
+
+    def __init__(self, directory: str | os.PathLike, every: int = 1,
+                 keep_last: int = 3, keep_best: bool = True,
+                 meta: dict | None = None):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.manager = CheckpointManager(directory, keep_last=keep_last,
+                                         keep_best=keep_best)
+        self.every = int(every)
+        self.meta = dict(meta or {})
+        #: paths written during this run, in order
+        self.written: list = []
+
+    def _save(self, trainer, epoch: int, loss: float) -> None:
+        meta = dict(self.meta)
+        meta.setdefault("model", trainer.model.name)
+        path = self.manager.save(training_state(trainer), epoch=epoch,
+                                 loss=loss, meta=meta)
+        self.written.append(path)
+
+    def on_epoch_end(self, trainer, stats) -> None:
+        if stats.epoch % self.every:
+            return
+        self._save(trainer, stats.epoch, stats.loss)
+
+    def on_train_end(self, trainer, history) -> None:
+        # make sure the final epoch is on disk even off the interval
+        epoch = len(history.epoch_losses)
+        if epoch and not self.manager.path_for(epoch).exists():
+            self._save(trainer, epoch, history.final_loss)

@@ -1,0 +1,236 @@
+"""Checkpoint file format: one npz, one embedded manifest, one checksum.
+
+A checkpoint is a *single* ``.npz`` written atomically (see
+:mod:`repro.ckpt.atomic`), so the weights/metadata pair can never tear —
+the old ``np.savez(weights) + meta.write_text(...)`` scheme could crash
+between the two files and leave weights from one run beside metadata from
+another.  Members:
+
+``__manifest__``
+    UTF-8 JSON: ``format_version`` (validated on load), a SHA-256
+    ``checksum`` over every state array and the structure blob, and a
+    free-form ``meta`` dict (dataset / method / dim / scale / epoch ...).
+``__structure__``
+    UTF-8 JSON mirror of the nested state tree, with every ndarray leaf
+    replaced by a pointer into the array members.  Non-array leaves
+    (epoch counters, RNG bit-generator state, loss histories) live here
+    verbatim — JSON round-trips Python floats exactly, which is what
+    bit-for-bit resume needs.
+``s/<path>``
+    The ndarray leaves, keyed by their ``/``-joined path in the tree.
+
+:func:`load_checkpoint` re-verifies the checksum, so silent corruption
+(truncation that still unzips, bit rot) surfaces as a
+:class:`CheckpointError` instead of NaNs three hours into a resumed run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .atomic import atomic_write_bytes
+
+__all__ = ["FORMAT_VERSION", "CheckpointError", "Manifest", "Checkpoint",
+           "save_checkpoint", "load_checkpoint", "read_manifest"]
+
+#: bump when the on-disk layout changes incompatibly
+FORMAT_VERSION = 1
+
+_MANIFEST_KEY = "__manifest__"
+_STRUCTURE_KEY = "__structure__"
+_ARRAY_PREFIX = "s/"
+_ARRAY_MARKER = "__ndarray__"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, corrupt, or from an incompatible run."""
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The validated header of one checkpoint file."""
+
+    checksum: str
+    meta: dict = field(default_factory=dict)
+    format_version: int = FORMAT_VERSION
+    num_arrays: int = 0
+
+    def to_dict(self) -> dict:
+        return {"format_version": self.format_version,
+                "checksum": self.checksum, "num_arrays": self.num_arrays,
+                "meta": dict(self.meta)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Manifest":
+        try:
+            version = int(payload["format_version"])
+            checksum = str(payload["checksum"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed manifest: {exc}") from exc
+        if version > FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format v{version} is newer than this build "
+                f"(v{FORMAT_VERSION}); upgrade before loading")
+        return cls(checksum=checksum, meta=dict(payload.get("meta", {})),
+                   format_version=version,
+                   num_arrays=int(payload.get("num_arrays", 0)))
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A loaded checkpoint: manifest plus the reconstructed state tree."""
+
+    manifest: Manifest
+    state: dict
+
+
+# ----------------------------------------------------------------------
+# nested state <-> (structure json, flat arrays)
+# ----------------------------------------------------------------------
+def _flatten(value, path: str, arrays: dict[str, np.ndarray]):
+    if isinstance(value, np.ndarray):
+        arrays[path] = value
+        return {_ARRAY_MARKER: path}
+    if isinstance(value, np.generic):  # numpy scalar -> 0-d array leaf
+        arrays[path] = np.asarray(value)
+        return {_ARRAY_MARKER: path}
+    if isinstance(value, dict):
+        if _ARRAY_MARKER in value:
+            raise CheckpointError(
+                f"state dict at {path!r} uses the reserved key "
+                f"{_ARRAY_MARKER!r}")
+        return {str(key): _flatten(item, f"{path}/{key}", arrays)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_flatten(item, f"{path}/{index}", arrays)
+                for index, item in enumerate(value)]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CheckpointError(
+        f"cannot checkpoint value of type {type(value).__name__} at "
+        f"{path!r}")
+
+
+def _unflatten(structure, arrays: dict[str, np.ndarray]):
+    if isinstance(structure, dict):
+        if set(structure) == {_ARRAY_MARKER}:
+            try:
+                return arrays[structure[_ARRAY_MARKER]]
+            except KeyError as exc:
+                raise CheckpointError(
+                    f"missing array member {structure[_ARRAY_MARKER]!r}"
+                ) from exc
+        return {key: _unflatten(item, arrays)
+                for key, item in structure.items()}
+    if isinstance(structure, list):
+        return [_unflatten(item, arrays) for item in structure]
+    return structure
+
+
+def _checksum(structure_json: bytes, arrays: dict[str, np.ndarray]) -> str:
+    digest = hashlib.sha256()
+    digest.update(structure_json)
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("ascii"))
+        digest.update(str(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# save / load
+# ----------------------------------------------------------------------
+def save_checkpoint(path: str | os.PathLike, state: dict,
+                    meta: dict | None = None) -> Manifest:
+    """Serialize ``state`` (nested dicts/lists of arrays and JSON
+    scalars) to ``path`` atomically; returns the written manifest."""
+    if not isinstance(state, dict):
+        raise CheckpointError("checkpoint state must be a dict")
+    arrays: dict[str, np.ndarray] = {}
+    structure = _flatten(state, "", arrays)
+    structure_json = json.dumps(structure, sort_keys=True).encode("utf-8")
+    manifest = Manifest(checksum=_checksum(structure_json, arrays),
+                        meta=dict(meta or {}), num_arrays=len(arrays))
+    members = {_ARRAY_PREFIX + name: array for name, array in arrays.items()}
+    members[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest.to_dict(), sort_keys=True).encode("utf-8"),
+        dtype=np.uint8)
+    members[_STRUCTURE_KEY] = np.frombuffer(structure_json, dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez(buffer, **members)
+    atomic_write_bytes(path, buffer.getvalue())
+    return manifest
+
+
+def _check_meta(manifest: Manifest, expect: dict | None,
+                path: pathlib.Path) -> None:
+    for key, wanted in (expect or {}).items():
+        saved = manifest.meta.get(key)
+        if saved != wanted:
+            raise CheckpointError(
+                f"checkpoint {path} was written with {key}={saved!r}, "
+                f"not {wanted!r}; pass matching parameters or retrain")
+
+
+def read_manifest(path: str | os.PathLike) -> Manifest:
+    """The manifest alone (cheap — skips the checksum verification)."""
+    path = pathlib.Path(path)
+    try:
+        with np.load(path) as handle:
+            raw = bytes(handle[_MANIFEST_KEY].tobytes())
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    try:
+        return Manifest.from_dict(json.loads(raw))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt manifest in {path}: {exc}") from exc
+
+
+def load_checkpoint(path: str | os.PathLike,
+                    expect: dict | None = None) -> Checkpoint:
+    """Load and fully verify a checkpoint.
+
+    ``expect`` maps manifest-meta keys to required values (dataset, dim,
+    scale, ...); a mismatch raises :class:`CheckpointError` before any
+    state reaches the caller.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        # context-managed so the NpzFile's underlying handle is closed
+        # (a bare ``np.load(path)`` keeps the zip open for lazy reads)
+        with np.load(path) as handle:
+            raw_manifest = bytes(handle[_MANIFEST_KEY].tobytes())
+            structure_json = bytes(handle[_STRUCTURE_KEY].tobytes())
+            arrays = {name[len(_ARRAY_PREFIX):]: np.array(handle[name])
+                      for name in handle.files
+                      if name.startswith(_ARRAY_PREFIX)}
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    try:
+        manifest = Manifest.from_dict(json.loads(raw_manifest))
+        structure = json.loads(structure_json)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt manifest in {path}: {exc}") from exc
+    _check_meta(manifest, expect, path)
+    actual = _checksum(structure_json, arrays)
+    if actual != manifest.checksum:
+        raise CheckpointError(
+            f"checksum mismatch in {path}: manifest says "
+            f"{manifest.checksum[:12]}..., payload hashes to "
+            f"{actual[:12]}... (corrupt or tampered file)")
+    return Checkpoint(manifest=manifest, state=_unflatten(structure, arrays))

@@ -1,0 +1,134 @@
+"""Checkpoint directory management: numbering, latest/best, retention.
+
+A training run writes ``ckpt-<epoch>.npz`` files into one directory.
+Each file is self-describing (embedded manifest with epoch and loss), so
+the manager never needs a side database: ``latest()`` and ``best()`` are
+answered by scanning manifests, skipping any file whose manifest cannot
+be read — which is exactly the file a crash mid-write would have left if
+the writer were not atomic, and the file a torn copy produces when a
+checkpoint directory is rsynced around.
+
+Retention keeps the newest ``keep_last`` checkpoints plus the best-loss
+one (so a run that diverges late never garbage-collects its best model).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+
+from .io import CheckpointError, Manifest, read_manifest, save_checkpoint
+
+__all__ = ["CheckpointManager"]
+
+_NAME = re.compile(r"^(?P<prefix>.+)-(?P<epoch>\d+)\.npz$")
+
+
+class CheckpointManager:
+    """Numbered checkpoints in one directory, with retention.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live (created on first save).
+    keep_last:
+        How many of the newest checkpoints survive pruning (>= 1).
+    keep_best:
+        Additionally retain the lowest-``loss`` checkpoint even when it
+        falls out of the keep-last window.
+    prefix:
+        File-name prefix (``<prefix>-<epoch>.npz``).
+    """
+
+    def __init__(self, directory: str | os.PathLike, keep_last: int = 3,
+                 keep_best: bool = True, prefix: str = "ckpt"):
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        if not prefix or "/" in prefix:
+            raise ValueError("prefix must be a non-empty file-name stem")
+        self.directory = pathlib.Path(directory)
+        self.keep_last = keep_last
+        self.keep_best = keep_best
+        self.prefix = prefix
+
+    # ------------------------------------------------------------------
+    def path_for(self, epoch: int) -> pathlib.Path:
+        return self.directory / f"{self.prefix}-{epoch:06d}.npz"
+
+    def checkpoints(self) -> list[pathlib.Path]:
+        """Existing checkpoint files, oldest epoch first."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in self.directory.iterdir():
+            match = _NAME.match(path.name)
+            if match and match.group("prefix") == self.prefix:
+                found.append((int(match.group("epoch")), path))
+        return [path for _, path in sorted(found)]
+
+    def latest(self) -> pathlib.Path | None:
+        """Newest checkpoint whose manifest is readable, or None."""
+        for path in reversed(self.checkpoints()):
+            try:
+                read_manifest(path)
+            except CheckpointError:
+                continue
+            return path
+        return None
+
+    def best(self) -> pathlib.Path | None:
+        """Checkpoint with the lowest manifest ``loss``, or None."""
+        best_path = None
+        best_loss = None
+        for path in self.checkpoints():
+            manifest = self._safe_manifest(path)
+            if manifest is None:
+                continue
+            loss = manifest.meta.get("loss")
+            if not isinstance(loss, (int, float)):
+                continue
+            if best_loss is None or loss < best_loss:
+                best_loss, best_path = loss, path
+        return best_path
+
+    # ------------------------------------------------------------------
+    def save(self, state: dict, epoch: int, loss: float | None = None,
+             meta: dict | None = None) -> pathlib.Path:
+        """Write ``state`` as the checkpoint for ``epoch`` and prune."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        merged = dict(meta or {})
+        merged["epoch"] = int(epoch)
+        if loss is not None:
+            merged["loss"] = float(loss)
+        path = self.path_for(epoch)
+        save_checkpoint(path, state, meta=merged)
+        self.prune()
+        return path
+
+    def prune(self) -> list[pathlib.Path]:
+        """Apply retention; returns the paths that were removed."""
+        existing = self.checkpoints()
+        keep = set(existing[-self.keep_last:])
+        if self.keep_best:
+            best = self.best()
+            if best is not None:
+                keep.add(best)
+        removed = []
+        for path in existing:
+            if path in keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced by another process
+                continue
+            removed.append(path)
+        return removed
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _safe_manifest(path: pathlib.Path) -> Manifest | None:
+        try:
+            return read_manifest(path)
+        except CheckpointError:
+            return None

@@ -22,13 +22,13 @@ streams per-epoch training telemetry as JSON Lines.
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 import time
 
 import numpy as np
 
+from . import ckpt
 from .baselines import (ConEModel, MLPMixModel, NewLookModel, HalkV1, HalkV2,
                         HalkV3)
 from .config import ModelConfig, TrainConfig
@@ -51,6 +51,20 @@ METHODS = {
 def _model_paths(model_dir: pathlib.Path, dataset: str, method: str):
     stem = f"{dataset}_{method}".replace("/", "_")
     return model_dir / f"{stem}.npz", model_dir / f"{stem}.json"
+
+
+def _run_meta(args) -> dict:
+    """Manifest metadata identifying one training configuration."""
+    return {"dataset": args.dataset, "method": args.method, "dim": args.dim,
+            "seed": args.seed, "scale": args.scale}
+
+
+def _checkpoint_dir(args) -> pathlib.Path:
+    explicit = getattr(args, "checkpoint_dir", None)
+    if explicit:
+        return pathlib.Path(explicit)
+    stem = f"{args.dataset}_{args.method}".replace("/", "_")
+    return pathlib.Path(args.model_dir) / "ckpt" / stem
 
 
 def _build_model(args, train_graph):
@@ -93,6 +107,12 @@ def _train_and_save(args, epochs: int, queries: int, lr: float = 2e-3,
         from .obs import JsonlTelemetry
         telemetry = JsonlTelemetry(args.telemetry)
         callbacks.append(telemetry)
+    run_meta = _run_meta(args)
+    checkpoint_every = getattr(args, "checkpoint_every", 0)
+    if checkpoint_every:
+        callbacks.append(ckpt.CheckpointCallback(
+            _checkpoint_dir(args), every=checkpoint_every,
+            keep_last=getattr(args, "keep_last", 3), meta=run_meta))
     trainer = Trainer(model, workload,
                       TrainConfig(epochs=epochs, batch_size=128,
                                   num_negatives=16, learning_rate=lr,
@@ -100,6 +120,19 @@ def _train_and_save(args, epochs: int, queries: int, lr: float = 2e-3,
                                   seed=args.seed,
                                   log_every=max(1, epochs // 10)),
                       callbacks=callbacks)
+    if getattr(args, "resume", False):
+        latest = ckpt.CheckpointManager(_checkpoint_dir(args)).latest()
+        if latest is None:
+            print(f"no checkpoint under {_checkpoint_dir(args)}; "
+                  f"starting fresh")
+        else:
+            try:
+                restored = ckpt.restore_training(trainer, latest,
+                                                 expect=run_meta)
+            except ckpt.CheckpointError as exc:
+                raise SystemExit(str(exc)) from exc
+            print(f"resumed from {latest} "
+                  f"(epoch {restored.manifest.meta.get('epoch')})")
     try:
         history = trainer.train()
     finally:
@@ -109,12 +142,18 @@ def _train_and_save(args, epochs: int, queries: int, lr: float = 2e-3,
     model_dir = pathlib.Path(args.model_dir)
     model_dir.mkdir(parents=True, exist_ok=True)
     weights, meta = _model_paths(model_dir, args.dataset, args.method)
-    np.savez(weights, **model.state_dict())
-    meta.write_text(json.dumps({
-        "dataset": args.dataset, "method": args.method, "dim": args.dim,
-        "seed": args.seed, "scale": args.scale,
-        "train_seconds": history.seconds,
-        "final_loss": history.final_loss}))
+    # weights + metadata travel as ONE manifest-tracked atomic unit: a
+    # crash cannot leave new weights beside stale metadata (or vice
+    # versa), and a torn write never replaces the previous good model
+    save_meta = dict(run_meta, train_seconds=history.seconds,
+                     final_loss=history.final_loss)
+    manifest = ckpt.save_checkpoint(weights, {"model": model.state_dict()},
+                                    meta=save_meta)
+    # human-readable sidecar (informational; the npz's embedded manifest
+    # is what loading validates)
+    ckpt.atomic_write_json(meta, dict(save_meta,
+                                      checksum=manifest.checksum,
+                                      format_version=manifest.format_version))
     return splits, model, history
 
 
@@ -137,18 +176,17 @@ def _load_trained(args):
     if not weights.exists():
         raise SystemExit(f"no trained model at {weights}; run "
                          f"`python -m repro.cli train` first")
-    saved = json.loads(meta.read_text())
-    for field, expected in (("dataset", args.dataset),
-                            ("method", args.method)):
-        if field in saved and saved[field] != expected:
-            raise SystemExit(
-                f"saved model at {weights} was trained with "
-                f"{field}={saved[field]!r}, not {expected!r}; pass a "
-                f"matching --{field} or retrain")
+    try:
+        checkpoint = ckpt.load_checkpoint(
+            weights, expect={"dataset": args.dataset,
+                             "method": args.method})
+    except ckpt.CheckpointError as exc:
+        raise SystemExit(str(exc)) from exc
+    saved = checkpoint.manifest.meta
     if saved.get("dim") != args.dim or saved.get("scale") != args.scale:
         raise SystemExit("saved model was trained with different "
                          "--dim/--scale; pass matching flags")
-    model.load_state_dict(dict(np.load(weights)))
+    model.load_state_dict(checkpoint.state["model"])
     return splits, model
 
 
@@ -214,6 +252,12 @@ def cmd_serve(args) -> int:
                          default_deadline=args.deadline)
     with ServeRuntime(model, kg=splits.train, index=index,
                       config=config) as runtime:
+        if args.watch:
+            runtime.watch(weights, interval=args.watch_interval,
+                          expect={"dataset": args.dataset,
+                                  "method": args.method})
+            print(f"watching {weights} for hot reloads "
+                  f"(every {args.watch_interval}s)")
         client = ServeClient(runtime, engine)
         if args.sparql:
             queries = list(args.sparql)
@@ -332,6 +376,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream per-epoch telemetry (loss, grad norms, "
                         "per-operator time, samples/sec) to a JSON-Lines "
                         "file")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="write a crash-safe resumable checkpoint every N "
+                        "epochs (0 = off)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="checkpoint directory (default: "
+                        "<model-dir>/ckpt/<dataset>_<method>)")
+    p.add_argument("--keep-last", type=int, default=3,
+                   help="retention: newest checkpoints to keep (the "
+                        "best-loss one is always kept)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the latest checkpoint in the "
+                        "checkpoint directory; continues the exact loss "
+                        "trajectory of the uninterrupted run")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a trained model")
@@ -369,6 +426,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print cache hit-rate and latency-percentile "
                         "stats after serving")
+    p.add_argument("--watch", action="store_true",
+                   help="hot-reload the model when the weights file "
+                        "changes on disk (e.g. after a retrain)")
+    p.add_argument("--watch-interval", type=float, default=1.0,
+                   help="mtime poll interval for --watch, in seconds")
     p.add_argument("--train-if-missing", action="store_true",
                    help="train a quick model first when none is saved")
     p.add_argument("--train-epochs", type=int, default=30)

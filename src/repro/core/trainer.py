@@ -84,6 +84,10 @@ class Trainer:
                                                              "gamma", 9.0)
         self.xi = xi if xi is not None else getattr(model_config, "xi", 0.0)
         self.rng = np.random.default_rng(self.config.seed)
+        #: cumulative run state; train() appends to it, so a trainer
+        #: restored from a checkpoint continues the same history
+        self.history = TrainingHistory()
+        self._epochs_done = 0
         embedding_lr = self.config.embedding_learning_rate
         if embedding_lr is None or embedding_lr == self.config.learning_rate:
             self.optimizers = [Adam(model.parameters(),
@@ -108,13 +112,13 @@ class Trainer:
         loop only records losses and per-epoch wall-clock, exactly as
         cheap as before.
         """
-        history = TrainingHistory()
+        history = self.history
         collect = len(self.callbacks) > 0
         self._collect_stats = collect
         self.callbacks.on_train_begin(self)
         started = time.perf_counter()
         try:
-            for epoch in range(self.config.epochs):
+            for epoch in range(self._epochs_done, self.config.epochs):
                 epoch_started = time.perf_counter()
                 epoch_losses: list[float] = []
                 grad_norms: list[float] = []
@@ -138,9 +142,23 @@ class Trainer:
                     if timer is not None:
                         timer.__exit__(None, None, None)
                 epoch_seconds = time.perf_counter() - epoch_started
+                if not epoch_losses:
+                    # float(np.mean([])) would silently record NaN (plus a
+                    # RuntimeWarning); every later epoch would be just as
+                    # empty, so fail loudly with the likely causes.
+                    queries = sum(len(self.workload[s])
+                                  for s in self.workload.structures())
+                    raise ValueError(
+                        f"epoch {epoch + 1} produced no batches "
+                        f"({queries} queries across "
+                        f"{len(self.workload.structures())} structures, "
+                        f"batch_size={self.config.batch_size}); the "
+                        f"workload is empty after filtering — check the "
+                        f"curriculum/structure selection")
                 mean_loss = float(np.mean(epoch_losses))
                 history.epoch_losses.append(mean_loss)
                 history.epoch_seconds.append(epoch_seconds)
+                self._epochs_done = epoch + 1
                 if collect:
                     self.callbacks.on_epoch_end(self, EpochStats(
                         epoch=epoch + 1, epochs=self.config.epochs,
@@ -151,11 +169,59 @@ class Trainer:
                         steps=len(epoch_losses),
                         operator_seconds=timer.seconds_by_module()
                         if timer is not None else {}))
-            history.seconds = time.perf_counter() - started
+            history.seconds += time.perf_counter() - started
             self.callbacks.on_train_end(self, history)
         finally:
             self._collect_stats = False
         return history
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything needed to resume mid-run with identical results.
+
+        The RNG bit-generator state is part of the snapshot on purpose:
+        batch shuffling and positive/negative sampling all draw from
+        ``self.rng``, so resuming without it would continue training on a
+        *different* sample sequence and the loss trajectory would diverge
+        from the uninterrupted run (see DESIGN.md).
+        """
+        return {
+            "epoch": self._epochs_done,
+            "rng_state": self.rng.bit_generator.state,
+            "optimizers": [opt.state_dict() for opt in self.optimizers],
+            "history": {
+                "losses": list(self.history.losses),
+                "epoch_losses": list(self.history.epoch_losses),
+                "epoch_seconds": list(self.history.epoch_seconds),
+                "seconds": self.history.seconds,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (model weights are
+        restored separately via ``model.load_state_dict``)."""
+        optimizer_states = state["optimizers"]
+        if len(optimizer_states) != len(self.optimizers):
+            raise ValueError(
+                f"checkpoint has {len(optimizer_states)} optimizer states, "
+                f"trainer has {len(self.optimizers)} (different "
+                f"embedding_learning_rate regime?)")
+        epoch = int(state["epoch"])
+        if epoch > self.config.epochs:
+            raise ValueError(f"checkpoint is at epoch {epoch}, beyond "
+                             f"config.epochs={self.config.epochs}")
+        for optimizer, opt_state in zip(self.optimizers, optimizer_states):
+            optimizer.load_state_dict(opt_state)
+        self.rng.bit_generator.state = state["rng_state"]
+        saved = state["history"]
+        self.history = TrainingHistory(
+            losses=[float(x) for x in saved["losses"]],
+            epoch_losses=[float(x) for x in saved["epoch_losses"]],
+            epoch_seconds=[float(x) for x in saved["epoch_seconds"]],
+            seconds=float(saved["seconds"]))
+        self._epochs_done = epoch
 
     def step(self, batch: list[GroundedQuery]) -> float:
         """One optimisation step on a same-structure batch."""

@@ -109,12 +109,15 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
+        # validate every shape before assigning any, so a bad state dict
+        # cannot leave the module half-loaded (hot reload relies on this)
         for name, values in state.items():
-            param = named[name]
-            if param.data.shape != values.shape:
+            if named[name].data.shape != np.shape(values):
                 raise ValueError(f"shape mismatch for {name}: "
-                                 f"{param.data.shape} vs {values.shape}")
-            param.data[...] = values
+                                 f"{named[name].data.shape} vs "
+                                 f"{np.shape(values)}")
+        for name, values in state.items():
+            named[name].data[...] = values
 
     def __call__(self, *args, **kwargs):
         hook = _CALL_HOOK

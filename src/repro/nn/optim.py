@@ -31,6 +31,39 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- checkpointing --------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the optimizer's mutable state.
+
+        Hyper-parameters (lr, betas, ...) are construction-time inputs
+        and intentionally not part of the state; the snapshot carries
+        only what :meth:`step` mutates, so a resumed run continues the
+        exact same parameter trajectory.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (validates shapes)."""
+        if state:
+            raise ValueError(f"unexpected optimizer state keys: "
+                             f"{sorted(state)}")
+
+    def _check_slots(self, name: str, values) -> list[np.ndarray]:
+        """Validate one per-parameter slot list against the parameters."""
+        if len(values) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state {name!r} has {len(values)} entries for "
+                f"{len(self.parameters)} parameters")
+        out = []
+        for index, (param, value) in enumerate(zip(self.parameters, values)):
+            array = np.asarray(value, dtype=param.data.dtype)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer state {name}[{index}] has shape "
+                    f"{array.shape}, parameter has {param.data.shape}")
+            out.append(array.copy())
+        return out
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -54,6 +87,14 @@ class SGD(Optimizer):
                 param.data -= self.lr * velocity
             else:
                 param.data -= self.lr * param.grad
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        if set(state) != {"velocity"}:
+            raise ValueError(f"bad SGD state keys: {sorted(state)}")
+        self._velocity = self._check_slots("velocity", state["velocity"])
 
 
 class Adam(Optimizer):
@@ -86,3 +127,19 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"step": self._step,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        if set(state) != {"step", "m", "v"}:
+            raise ValueError(f"bad Adam state keys: {sorted(state)}")
+        # validate both slot lists before mutating either, so a bad
+        # snapshot cannot leave the optimizer half-restored
+        m = self._check_slots("m", state["m"])
+        v = self._check_slots("v", state["v"])
+        self._step = int(state["step"])
+        self._m = m
+        self._v = v

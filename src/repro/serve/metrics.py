@@ -129,6 +129,11 @@ class StatsSnapshot:
     #: ``{"serve.embed": SpanStats(...), "serve.rank": ...}``
     stages: dict[str, SpanStats] = field(default_factory=dict)
 
+    @property
+    def model_version(self) -> int:
+        """Serving model generation (bumped by ``ServeRuntime.reload``)."""
+        return int(self.gauges.get("model_version", 0))
+
     def hit_rate(self, cache: str) -> float:
         """Hit fraction of ``<cache>_hits`` / ``<cache>_misses`` counters."""
         hits = self.counters.get(f"{cache}_hits", 0)
@@ -203,6 +208,8 @@ class PeriodicReporter:
 def format_snapshot(snapshot: StatsSnapshot, title: str = "serve stats") -> str:
     """Human-readable rendering (the ``cli serve --stats`` output)."""
     lines = [f"== {title} =="]
+    if snapshot.model_version:
+        lines.append(f"model version: {snapshot.model_version}")
     if snapshot.counters:
         lines.append("counters:")
         for name in sorted(snapshot.counters):

@@ -21,6 +21,7 @@ queue-depth gauge), exposed via :meth:`ServeRuntime.stats`.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -29,6 +30,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..ckpt import CheckpointError, load_checkpoint
 from ..core.model import QueryModel, topk_rows
 from ..kg.graph import KnowledgeGraph
 from ..nn import no_grad
@@ -81,6 +83,50 @@ class ServeResult:
 
     def __len__(self) -> int:
         return len(self.entity_ids)
+
+
+class _RWLock:
+    """Many concurrent readers, one exclusive writer, writer-preferring.
+
+    Batch execution holds a read lock while it touches the model, so a
+    hot reload (the writer) swaps weights only between batches — an
+    in-flight batch can never observe a half-loaded parameter set.
+    Waiting writers block *new* readers, so a busy serving loop cannot
+    starve a reload indefinitely.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
 
 
 @dataclass
@@ -148,6 +194,11 @@ class ServeRuntime:
         self._batcher.start()
         self._closed = False
         self._close_lock = threading.Lock()
+        self._model_lock = _RWLock()
+        self._model_version = 1
+        self.metrics.gauge("model_version").set(self._model_version)
+        self._watcher: threading.Thread | None = None
+        self._watch_stop = threading.Event()
 
     # ------------------------------------------------------------------
     # public API
@@ -185,6 +236,7 @@ class ServeRuntime:
             retries_left=self.config.max_retries, submitted_at=now)
         if root is not None:
             root.attrs["structure"] = request.group_key
+            root.attrs["model_version"] = self._model_version
             request.trace_root = root
             request.trace_queue = tracer.start_span("serve.queue",
                                                     parent=root)
@@ -203,6 +255,77 @@ class ServeRuntime:
         """Submit many queries at once; results come back in input order."""
         futures = [self.submit(q, top_k, deadline) for q in queries]
         return [f.result(timeout) for f in futures]
+
+    @property
+    def model_version(self) -> int:
+        """Monotone counter, bumped on every successful :meth:`reload`."""
+        return self._model_version
+
+    def reload(self, path: str | os.PathLike,
+               expect: dict | None = None) -> int:
+        """Hot-swap the model weights from a checkpoint file.
+
+        The manifest is validated (format version, content checksum,
+        optional ``expect`` metadata) and the new state is shape-checked
+        *before* the swap; the swap itself happens under the exclusive
+        side of the model lock, so concurrent :meth:`answer` calls always
+        see either the old weights or the new ones, never a mixture.  On
+        success the embedding cache is invalidated (cached embeddings
+        belong to the old weights) and the answer cache is left to age
+        out through its TTL.  Returns the new model version.
+        """
+        checkpoint = load_checkpoint(path, expect=expect)
+        state = checkpoint.state
+        if "model" in state and isinstance(state["model"], dict):
+            state = state["model"]  # training checkpoints nest the model
+        self._model_lock.acquire_write()
+        try:
+            self.model.load_state_dict(state)  # all-or-nothing
+            self._embeddings.clear()
+            self._model_version += 1
+            version = self._model_version
+        finally:
+            self._model_lock.release_write()
+        self.metrics.counter("model_reloads").inc()
+        self.metrics.gauge("model_version").set(version)
+        return version
+
+    def watch(self, path: str | os.PathLike, interval: float = 1.0,
+              expect: dict | None = None) -> None:
+        """Poll ``path``'s mtime and :meth:`reload` when it changes.
+
+        One watcher per runtime; stopped by :meth:`close`.  A reload
+        that fails (checkpoint mid-write on a non-atomic filesystem,
+        metadata mismatch) is counted and retried on the next change.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if self._watcher is not None:
+            raise RuntimeError("already watching a checkpoint path")
+        path = str(path)
+
+        def poll() -> None:
+            last = self._mtime(path)
+            while not self._watch_stop.wait(interval):
+                current = self._mtime(path)
+                if current is None or current == last:
+                    continue
+                last = current
+                try:
+                    self.reload(path, expect=expect)
+                except CheckpointError:
+                    self.metrics.counter("model_reload_failures").inc()
+
+        self._watcher = threading.Thread(target=poll, daemon=True,
+                                         name="serve-model-watcher")
+        self._watcher.start()
+
+    @staticmethod
+    def _mtime(path: str) -> float | None:
+        try:
+            return os.stat(path).st_mtime
+        except OSError:
+            return None
 
     def stats(self) -> StatsSnapshot:
         """Current metrics, with cache tiers and span stages folded in."""
@@ -226,6 +349,10 @@ class ServeRuntime:
             if self._closed:
                 return
             self._closed = True
+        self._watch_stop.set()
+        if self._watcher is not None:
+            self._watcher.join()
+            self._watcher = None
         self._batcher.close()
         self._pool.shutdown(wait=True)
 
@@ -262,7 +389,11 @@ class ServeRuntime:
         attempts = 1 + max(r.retries_left for r in live)
         for attempt in range(attempts):
             try:
-                self._model_answer(live)
+                self._model_lock.acquire_read()
+                try:
+                    self._model_answer(live)
+                finally:
+                    self._model_lock.release_read()
                 return
             except Exception:
                 self.metrics.counter("model_failures").inc()
@@ -363,9 +494,13 @@ class ServeRuntime:
     def _lsh_answer(self, request: _Pending):
         if self.index is None:
             return None
-        with no_grad():
-            embedding = self.model.embed_batch([request.query])
-            points = self.model.query_points(embedding)
+        self._model_lock.acquire_read()
+        try:
+            with no_grad():
+                embedding = self.model.embed_batch([request.query])
+                points = self.model.query_points(embedding)
+        finally:
+            self._model_lock.release_read()
         if points is None:
             return None
         ids: list[int] = []

@@ -37,6 +37,15 @@ class TestLsh:
         with pytest.raises(ValueError):
             LshIndex(points, num_tables=0)
 
+    def test_bits_per_table_int64_boundary(self, points):
+        # 62 bits is the widest hash whose bucket keys fit in int64
+        index = LshIndex(points, num_tables=1, bits_per_table=62, seed=1)
+        assert all(key >= 0 for key in index._tables[0])
+        with pytest.raises(ValueError, match="bits_per_table must be < 63"):
+            LshIndex(points, num_tables=1, bits_per_table=63, seed=1)
+        with pytest.raises(ValueError, match="overflows"):
+            LshIndex(points, num_tables=1, bits_per_table=64, seed=1)
+
     def test_exact_point_is_candidate(self, points):
         index = LshIndex(points, num_tables=6, bits_per_table=6, seed=1)
         for i in (0, 50, 199):

@@ -1,0 +1,38 @@
+"""Shared fixtures for the checkpoint/persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainConfig
+from repro.core import HalkModel, Trainer
+from repro.kg import KnowledgeGraph
+from repro.queries import Entity, GroundedQuery, Projection, QueryWorkload
+
+
+@pytest.fixture(scope="module")
+def kg() -> KnowledgeGraph:
+    rng = np.random.default_rng(7)
+    triples = [(int(rng.integers(15)), int(rng.integers(2)),
+                int(rng.integers(15))) for _ in range(40)]
+    return KnowledgeGraph(15, 2, triples)
+
+
+@pytest.fixture(scope="module")
+def workload(kg) -> QueryWorkload:
+    workload = QueryWorkload()
+    for head, rel, _tail in list(kg)[:12]:
+        query = Projection(rel, Entity(head))
+        workload.add(GroundedQuery("1p", query,
+                                   frozenset(kg.targets(head, rel)),
+                                   frozenset()))
+    return workload
+
+
+def make_trainer(kg, workload, epochs: int,
+                 two_speed: bool = False) -> tuple[HalkModel, Trainer]:
+    """A fresh deterministic (model, trainer) pair."""
+    model = HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12, seed=0))
+    config = TrainConfig(epochs=epochs, batch_size=8, num_negatives=4,
+                         seed=5,
+                         embedding_learning_rate=5e-3 if two_speed else None)
+    return model, Trainer(model, workload, config)

@@ -1,0 +1,104 @@
+"""Atomic-writer tests, including crash injection at every seam."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (CheckpointError, atomic_write_bytes,
+                        atomic_write_json, load_checkpoint, save_checkpoint)
+
+pytestmark = pytest.mark.ckpt
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "meta.json"
+        atomic_write_json(path, {"a": 1, "b": [1.5, "x"]})
+        import json
+        assert json.loads(path.read_text()) == {"a": 1, "b": [1.5, "x"]}
+
+    def test_no_tmp_droppings_on_success(self, tmp_path):
+        atomic_write_bytes(tmp_path / "out.bin", b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+
+class TestCrashInjection:
+    """Kill the writer at each step; the previous file must survive."""
+
+    def test_crash_before_rename_preserves_old_file(self, tmp_path,
+                                                    monkeypatch):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"generation-1")
+
+        def killed(src, dst):
+            raise KeyboardInterrupt("simulated SIGKILL between tmp-write "
+                                    "and rename")
+
+        monkeypatch.setattr(os, "replace", killed)
+        with pytest.raises(KeyboardInterrupt):
+            atomic_write_bytes(path, b"generation-2")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"generation-1"
+        # and the aborted tmp file was cleaned up
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+    def test_crash_during_tmp_write_preserves_old_file(self, tmp_path,
+                                                       monkeypatch):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"generation-1")
+
+        def killed(fd):
+            raise KeyboardInterrupt("simulated crash during fsync")
+
+        monkeypatch.setattr(os, "fsync", killed)
+        with pytest.raises(KeyboardInterrupt):
+            atomic_write_bytes(path, b"generation-2")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"generation-1"
+
+    def test_crashed_checkpoint_write_keeps_previous_loadable(
+            self, tmp_path, monkeypatch):
+        """Tier-1 acceptance: a SIGKILL-simulated crash between tmp-write
+        and rename never corrupts the latest loadable checkpoint."""
+        path = tmp_path / "model.npz"
+        state = {"weights": np.arange(6.0).reshape(2, 3)}
+        save_checkpoint(path, state, meta={"epoch": 1})
+
+        monkeypatch.setattr(
+            os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(KeyboardInterrupt()))
+        with pytest.raises(KeyboardInterrupt):
+            save_checkpoint(path, {"weights": np.zeros((2, 3))},
+                            meta={"epoch": 2})
+        monkeypatch.undo()
+
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.manifest.meta["epoch"] == 1
+        np.testing.assert_array_equal(checkpoint.state["weights"],
+                                      np.arange(6.0).reshape(2, 3))
+
+    def test_partial_file_never_visible(self, tmp_path, monkeypatch):
+        """Without a previous generation, a crashed write leaves nothing —
+        not a half-written destination."""
+        path = tmp_path / "model.npz"
+        monkeypatch.setattr(
+            os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(KeyboardInterrupt()))
+        with pytest.raises(KeyboardInterrupt):
+            save_checkpoint(path, {"w": np.ones(3)})
+        monkeypatch.undo()
+        assert not path.exists()
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(path)

@@ -1,0 +1,135 @@
+"""Checkpoint format tests: manifest, checksum, nested-state round-trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (FORMAT_VERSION, CheckpointError, load_checkpoint,
+                        read_manifest, save_checkpoint)
+
+pytestmark = pytest.mark.ckpt
+
+
+def nested_state():
+    return {
+        "model": {"layer.weight": np.arange(12.0).reshape(3, 4),
+                  "layer.bias": np.zeros(4)},
+        "trainer": {
+            "epoch": 7,
+            "rng_state": {"bit_generator": "PCG64",
+                          "state": {"state": 2 ** 100, "inc": 3},
+                          "has_uint32": 0, "uinteger": 0},
+            "optimizers": [{"step": 42, "m": [np.ones(3)],
+                            "v": [np.full(3, 0.5)]}],
+            "history": {"losses": [1.5, 0.25], "seconds": 12.0},
+        },
+        "flags": [True, None, "text"],
+    }
+
+
+class TestRoundTrip:
+    def test_nested_state_survives(self, tmp_path):
+        path = tmp_path / "c.npz"
+        manifest = save_checkpoint(path, nested_state(), meta={"dim": 8})
+        assert manifest.format_version == FORMAT_VERSION
+        assert manifest.num_arrays == 4
+        loaded = load_checkpoint(path)
+        state = loaded.state
+        np.testing.assert_array_equal(
+            state["model"]["layer.weight"], np.arange(12.0).reshape(3, 4))
+        assert state["trainer"]["epoch"] == 7
+        # big ints (PCG64 state) survive the JSON structure blob exactly
+        assert state["trainer"]["rng_state"]["state"]["state"] == 2 ** 100
+        assert state["trainer"]["optimizers"][0]["step"] == 42
+        assert state["trainer"]["history"]["losses"] == [1.5, 0.25]
+        assert state["flags"] == [True, None, "text"]
+        assert loaded.manifest.meta == {"dim": 8}
+
+    def test_floats_roundtrip_bit_for_bit(self, tmp_path):
+        path = tmp_path / "c.npz"
+        values = [float(x) for x in np.random.default_rng(0).normal(size=20)]
+        save_checkpoint(path, {"losses": values})
+        assert load_checkpoint(path).state["losses"] == values
+
+    def test_dtypes_preserved(self, tmp_path):
+        path = tmp_path / "c.npz"
+        state = {"i64": np.arange(3, dtype=np.int64),
+                 "f32": np.ones(2, dtype=np.float32),
+                 "scalar": np.float64(2.5)}
+        loaded = load_checkpoint(save_and(path, state)).state
+        assert loaded["i64"].dtype == np.int64
+        assert loaded["f32"].dtype == np.float32
+        assert loaded["scalar"] == 2.5
+
+    def test_unserializable_leaf_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot checkpoint"):
+            save_checkpoint(tmp_path / "c.npz", {"bad": object()})
+
+
+def save_and(path, state):
+    save_checkpoint(path, state)
+    return path
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "absent.npz")
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, {"w": np.ones(100)})
+        path.write_bytes(path.read_bytes()[:150])
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(path)
+
+    def test_legacy_plain_npz_rejected_cleanly(self, tmp_path):
+        path = tmp_path / "c.npz"
+        np.savez(path, weights=np.ones(4))
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(path)
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        """Flip payload bytes while keeping the zip container valid."""
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, {"w": np.zeros(8)}, meta={"epoch": 3})
+        # rewrite one member through numpy, preserving the manifest
+        with np.load(path) as handle:
+            members = {name: np.array(handle[name])
+                       for name in handle.files}
+        members["s//w"] = np.ones(8)  # tampered payload
+        np.savez(path, **members)
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            load_checkpoint(path)
+
+    def test_newer_format_version_rejected(self, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, {"w": np.zeros(2)})
+        with np.load(path) as handle:
+            members = {name: np.array(handle[name])
+                       for name in handle.files}
+        manifest = json.loads(bytes(members["__manifest__"].tobytes()))
+        manifest["format_version"] = FORMAT_VERSION + 1
+        members["__manifest__"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8)
+        np.savez(path, **members)
+        with pytest.raises(CheckpointError, match="newer than this build"):
+            load_checkpoint(path)
+
+    def test_expect_meta_mismatch(self, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, {"w": np.zeros(2)},
+                        meta={"dataset": "FB237", "dim": 8})
+        with pytest.raises(CheckpointError, match="dataset='FB237'"):
+            load_checkpoint(path, expect={"dataset": "NELL"})
+        # matching expectation loads fine
+        assert load_checkpoint(
+            path, expect={"dataset": "FB237", "dim": 8}).state is not None
+
+    def test_read_manifest_is_cheap_and_validated(self, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, {"w": np.zeros(2)}, meta={"loss": 0.5})
+        manifest = read_manifest(path)
+        assert manifest.meta["loss"] == 0.5
+        assert manifest.format_version == FORMAT_VERSION

@@ -1,0 +1,73 @@
+"""Retention-manager tests: numbering, latest/best, pruning."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import CheckpointManager, read_manifest
+
+pytestmark = pytest.mark.ckpt
+
+
+def state(value: float):
+    return {"w": np.full(3, value)}
+
+
+class TestManager:
+    def test_save_and_latest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        for epoch, loss in ((1, 3.0), (2, 2.0), (3, 2.5)):
+            manager.save(state(epoch), epoch=epoch, loss=loss)
+        assert manager.latest() == manager.path_for(3)
+        assert read_manifest(manager.latest()).meta["epoch"] == 3
+
+    def test_best_is_lowest_loss(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        for epoch, loss in ((1, 3.0), (2, 0.5), (3, 2.5)):
+            manager.save(state(epoch), epoch=epoch, loss=loss)
+        assert manager.best() == manager.path_for(2)
+
+    def test_retention_keeps_last_k_plus_best(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=2, keep_best=True)
+        losses = {1: 0.1, 2: 3.0, 3: 2.0, 4: 1.5, 5: 1.2}
+        for epoch, loss in losses.items():
+            manager.save(state(epoch), epoch=epoch, loss=loss)
+        kept = manager.checkpoints()
+        # newest two (4, 5) plus the best-loss epoch 1
+        assert kept == [manager.path_for(1), manager.path_for(4),
+                        manager.path_for(5)]
+
+    def test_retention_without_keep_best(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=2, keep_best=False)
+        for epoch in (1, 2, 3, 4):
+            manager.save(state(epoch), epoch=epoch, loss=float(5 - epoch))
+        assert manager.checkpoints() == [manager.path_for(3),
+                                         manager.path_for(4)]
+
+    def test_latest_skips_unreadable(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        manager.save(state(1.0), epoch=1, loss=1.0)
+        manager.save(state(2.0), epoch=2, loss=0.5)
+        # corrupt the newest file (e.g. torn by a non-atomic copy)
+        manager.path_for(2).write_bytes(b"garbage")
+        assert manager.latest() == manager.path_for(1)
+
+    def test_empty_directory(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "missing")
+        assert manager.latest() is None
+        assert manager.best() is None
+        assert manager.checkpoints() == []
+
+    def test_foreign_files_ignored(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=1)
+        (tmp_path / "notes.txt").write_text("keep me")
+        (tmp_path / "other-000001.npz").write_bytes(b"different prefix")
+        manager.save(state(1.0), epoch=1, loss=1.0)
+        manager.save(state(2.0), epoch=2, loss=1.0)
+        assert (tmp_path / "notes.txt").exists()
+        assert (tmp_path / "other-000001.npz").exists()
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            CheckpointManager(tmp_path, keep_last=0)
+        with pytest.raises(ValueError, match="prefix"):
+            CheckpointManager(tmp_path, prefix="a/b")

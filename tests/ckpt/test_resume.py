@@ -1,0 +1,206 @@
+"""Resumable-training tests: state round-trips and bit-for-bit resume."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (CheckpointCallback, CheckpointError,
+                        CheckpointManager, load_checkpoint, restore_training,
+                        save_checkpoint, training_state)
+from repro.nn import SGD, Adam
+from repro.nn.modules import Linear
+
+from .conftest import make_trainer
+
+pytestmark = pytest.mark.ckpt
+
+
+class TestOptimizerState:
+    def _stepped(self, optimizer_cls, **kwargs):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        optimizer = optimizer_cls(layer.parameters(), **kwargs)
+        for param in optimizer.parameters:
+            param.grad = np.ones_like(param.data)
+        optimizer.step()
+        return layer, optimizer
+
+    def test_adam_roundtrip(self):
+        _, optimizer = self._stepped(Adam, lr=1e-3)
+        state = optimizer.state_dict()
+        fresh_layer = Linear(3, 2, rng=np.random.default_rng(1))
+        fresh = Adam(fresh_layer.parameters(), lr=1e-3)
+        fresh.load_state_dict(state)
+        assert fresh._step == optimizer._step
+        for a, b in zip(fresh._m, optimizer._m):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(fresh._v, optimizer._v):
+            np.testing.assert_array_equal(a, b)
+
+    def test_sgd_roundtrip(self):
+        _, optimizer = self._stepped(SGD, lr=0.1, momentum=0.9)
+        fresh_layer = Linear(3, 2, rng=np.random.default_rng(1))
+        fresh = SGD(fresh_layer.parameters(), lr=0.1, momentum=0.9)
+        fresh.load_state_dict(optimizer.state_dict())
+        for a, b in zip(fresh._velocity, optimizer._velocity):
+            np.testing.assert_array_equal(a, b)
+
+    def test_state_is_a_copy(self):
+        _, optimizer = self._stepped(Adam, lr=1e-3)
+        state = optimizer.state_dict()
+        state["m"][0][...] = 99.0
+        assert not np.any(optimizer._m[0] == 99.0)
+
+    def test_slot_count_mismatch_rejected(self):
+        _, optimizer = self._stepped(Adam, lr=1e-3)
+        state = optimizer.state_dict()
+        state["m"] = state["m"][:-1]
+        fresh = Adam(Linear(3, 2, rng=np.random.default_rng(1)).parameters(), lr=1e-3)
+        with pytest.raises(ValueError, match="entries"):
+            fresh.load_state_dict(state)
+
+    def test_shape_mismatch_rejected_without_mutation(self):
+        _, optimizer = self._stepped(Adam, lr=1e-3)
+        state = optimizer.state_dict()
+        state["v"] = [np.zeros((9, 9)) for _ in state["v"]]
+        before_m = [m.copy() for m in optimizer._m]
+        with pytest.raises(ValueError, match="shape"):
+            optimizer.load_state_dict(state)
+        for a, b in zip(optimizer._m, before_m):  # untouched on failure
+            np.testing.assert_array_equal(a, b)
+
+
+class TestTrainerState:
+    def test_rng_state_roundtrips(self, kg, workload):
+        _, trainer = make_trainer(kg, workload, epochs=3)
+        trainer.train()
+        state = trainer.state_dict()
+        _, fresh = make_trainer(kg, workload, epochs=3)
+        fresh.load_state_dict(state)
+        assert (fresh.rng.bit_generator.state
+                == trainer.rng.bit_generator.state)
+        # both generators now produce the same stream
+        assert list(fresh.rng.integers(0, 100, 8)) \
+            == list(trainer.rng.integers(0, 100, 8))
+
+    def test_history_roundtrips(self, kg, workload):
+        _, trainer = make_trainer(kg, workload, epochs=2)
+        history = trainer.train()
+        _, fresh = make_trainer(kg, workload, epochs=2)
+        fresh.load_state_dict(trainer.state_dict())
+        assert fresh.history.losses == history.losses
+        assert fresh.history.epoch_losses == history.epoch_losses
+        assert fresh._epochs_done == 2
+
+    def test_optimizer_regime_mismatch_rejected(self, kg, workload):
+        _, one_speed = make_trainer(kg, workload, epochs=2)
+        one_speed.train()
+        _, two_speed = make_trainer(kg, workload, epochs=2, two_speed=True)
+        with pytest.raises(ValueError, match="optimizer states"):
+            two_speed.load_state_dict(one_speed.state_dict())
+
+    def test_epoch_beyond_config_rejected(self, kg, workload):
+        _, trainer = make_trainer(kg, workload, epochs=3)
+        trainer.train()
+        _, shorter = make_trainer(kg, workload, epochs=2)
+        with pytest.raises(ValueError, match="beyond"):
+            shorter.load_state_dict(trainer.state_dict())
+
+
+class TestResumeDeterminism:
+    def test_interrupt_resume_matches_uninterrupted(self, kg, workload,
+                                                    tmp_path):
+        """Acceptance: train(10) == train(5) -> checkpoint -> resume ->
+        train(5), per-step losses bit-for-bit, for both optimizer
+        regimes."""
+        for two_speed in (False, True):
+            _, full_trainer = make_trainer(kg, workload, epochs=10,
+                                           two_speed=two_speed)
+            full = full_trainer.train()
+
+            _, half = make_trainer(kg, workload, epochs=5,
+                                   two_speed=two_speed)
+            half.train()
+            path = tmp_path / f"half-{two_speed}.npz"
+            save_checkpoint(path, training_state(half))
+
+            model, resumed_trainer = make_trainer(kg, workload, epochs=10,
+                                                  two_speed=two_speed)
+            restore_training(resumed_trainer, path)
+            resumed = resumed_trainer.train()
+
+            assert resumed.losses == full.losses
+            assert resumed.epoch_losses == full.epoch_losses
+            for name, param in model.named_parameters():
+                np.testing.assert_array_equal(
+                    param.data,
+                    dict(full_trainer.model.named_parameters())[name].data)
+
+    def test_resume_from_any_epoch_boundary(self, kg, workload, tmp_path):
+        _, full_trainer = make_trainer(kg, workload, epochs=6)
+        full = full_trainer.train()
+        for cut in (1, 3, 5):
+            _, partial = make_trainer(kg, workload, epochs=cut)
+            partial.train()
+            path = tmp_path / f"cut{cut}.npz"
+            save_checkpoint(path, training_state(partial))
+            _, resumed_trainer = make_trainer(kg, workload, epochs=6)
+            restore_training(resumed_trainer, path)
+            assert resumed_trainer.train().losses == full.losses
+
+    def test_restore_validates_meta(self, kg, workload, tmp_path):
+        _, trainer = make_trainer(kg, workload, epochs=2)
+        trainer.train()
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, training_state(trainer),
+                        meta={"dataset": "toy"})
+        _, fresh = make_trainer(kg, workload, epochs=2)
+        with pytest.raises(CheckpointError, match="dataset"):
+            restore_training(fresh, path, expect={"dataset": "other"})
+
+    def test_restore_rejects_model_only_checkpoint(self, kg, workload,
+                                                   tmp_path):
+        model, trainer = make_trainer(kg, workload, epochs=2)
+        path = tmp_path / "m.npz"
+        save_checkpoint(path, {"model": model.state_dict()})
+        with pytest.raises(CheckpointError, match="training checkpoint"):
+            restore_training(trainer, path)
+
+
+class TestCheckpointCallback:
+    def test_writes_on_interval_with_retention(self, kg, workload, tmp_path):
+        model, trainer = make_trainer(kg, workload, epochs=6)
+        callback = CheckpointCallback(tmp_path, every=2, keep_last=2,
+                                      keep_best=False,
+                                      meta={"dataset": "toy"})
+        trainer.callbacks.callbacks.append(callback)
+        trainer.train()
+        manager = CheckpointManager(tmp_path, keep_last=2)
+        kept = manager.checkpoints()
+        assert kept == [manager.path_for(4), manager.path_for(6)]
+        checkpoint = load_checkpoint(kept[-1])
+        assert checkpoint.manifest.meta["dataset"] == "toy"
+        assert checkpoint.manifest.meta["epoch"] == 6
+        assert checkpoint.state["trainer"]["epoch"] == 6
+
+    def test_final_epoch_saved_off_interval(self, kg, workload, tmp_path):
+        _, trainer = make_trainer(kg, workload, epochs=5)
+        callback = CheckpointCallback(tmp_path, every=2, keep_last=10)
+        trainer.callbacks.callbacks.append(callback)
+        trainer.train()
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        # epochs 2 and 4 on the interval, 5 from on_train_end
+        assert manager.path_for(5).exists()
+
+    def test_callback_checkpoint_resumes_exactly(self, kg, workload,
+                                                 tmp_path):
+        _, full_trainer = make_trainer(kg, workload, epochs=8)
+        full = full_trainer.train()
+
+        _, half = make_trainer(kg, workload, epochs=4)
+        callback = CheckpointCallback(tmp_path, every=4)
+        half.callbacks.callbacks.append(callback)
+        half.train()
+
+        latest = CheckpointManager(tmp_path).latest()
+        _, resumed_trainer = make_trainer(kg, workload, epochs=8)
+        restore_training(resumed_trainer, latest)
+        assert resumed_trainer.train().losses == full.losses

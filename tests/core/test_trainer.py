@@ -95,3 +95,14 @@ class TestTrainer:
         Trainer(model, workload, TrainConfig(epochs=2, batch_size=8,
                                              num_negatives=4)).train()
         assert not np.allclose(before, model.entity_points.weight.data)
+
+    def test_empty_workload_raises_instead_of_nan(self, model):
+        """An epoch with zero batches must fail loudly, not record
+        float(np.mean([])) == NaN into the history."""
+        trainer = Trainer(model, QueryWorkload(),
+                          TrainConfig(epochs=2, batch_size=8,
+                                      num_negatives=4))
+        with pytest.raises(ValueError, match="produced no batches"):
+            trainer.train()
+        assert not any(np.isnan(loss)
+                       for loss in trainer.history.epoch_losses)

@@ -1,0 +1,108 @@
+"""Hypothesis property tests for checkpoint save -> load round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.ckpt import load_checkpoint, save_checkpoint
+
+pytestmark = pytest.mark.ckpt
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+_shapes = array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4)
+array_values = st.one_of(
+    arrays(np.float64, _shapes, elements=finite_floats),
+    arrays(np.float32, _shapes,
+           elements=st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False, width=32)),
+    arrays(np.int64, _shapes,
+           elements=st.integers(min_value=-2 ** 40, max_value=2 ** 40)),
+)
+
+#: names that exercise separators and non-identifier characters
+keys = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "Nd"),
+                           whitelist_characters="._- "),
+    min_size=1, max_size=12)
+
+json_leaves = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-2 ** 80,
+                                          max_value=2 ** 80),
+    finite_floats, st.text(max_size=12))
+
+state_trees = st.recursive(
+    st.dictionaries(keys, st.one_of(array_values, json_leaves),
+                    min_size=0, max_size=4),
+    lambda children: st.dictionaries(
+        keys, st.one_of(array_values, json_leaves, children,
+                        st.lists(st.one_of(array_values, json_leaves),
+                                 max_size=3)),
+        min_size=0, max_size=4),
+    max_leaves=12)
+
+
+def assert_equal_tree(left, right, path="root"):
+    assert type(left) is type(right) or (
+        isinstance(left, (list, tuple)) and isinstance(right, (list, tuple))
+    ), f"type mismatch at {path}: {type(left)} vs {type(right)}"
+    if isinstance(left, np.ndarray):
+        assert left.dtype == right.dtype, f"dtype mismatch at {path}"
+        np.testing.assert_array_equal(left, right, err_msg=path)
+    elif isinstance(left, dict):
+        assert set(left) == set(right), f"key mismatch at {path}"
+        for key in left:
+            assert_equal_tree(left[key], right[key], f"{path}/{key}")
+    elif isinstance(left, (list, tuple)):
+        assert len(left) == len(right), f"length mismatch at {path}"
+        for index, (a, b) in enumerate(zip(left, right)):
+            assert_equal_tree(a, b, f"{path}/{index}")
+    else:
+        assert left == right, f"leaf mismatch at {path}: {left!r} != {right!r}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(state=state_trees)
+def test_arbitrary_state_roundtrips(state, tmp_path_factory):
+    path = tmp_path_factory.mktemp("ckpt") / "state.npz"
+    save_checkpoint(path, state, meta={"kind": "property"})
+    loaded = load_checkpoint(path)
+    assert loaded.manifest.meta == {"kind": "property"}
+    assert_equal_tree(state, loaded.state)
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=st.lists(finite_floats, min_size=0, max_size=30),
+       step=st.integers(min_value=0, max_value=2 ** 40))
+def test_losses_and_counters_roundtrip_exactly(values, step,
+                                               tmp_path_factory):
+    """Loss histories and step counters must survive bit-for-bit — the
+    resume-determinism guarantee depends on it."""
+    path = tmp_path_factory.mktemp("ckpt") / "state.npz"
+    state = {"history": {"losses": values}, "step": step}
+    save_checkpoint(path, state)
+    loaded = load_checkpoint(path).state
+    assert loaded["step"] == step
+    assert loaded["history"]["losses"] == values
+    for original, restored in zip(values, loaded["history"]["losses"]):
+        assert np.float64(original).tobytes() \
+            == np.float64(restored).tobytes()
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=array_values, rng_seed=st.integers(min_value=0,
+                                               max_value=2 ** 32 - 1))
+def test_rng_state_roundtrips(data, rng_seed, tmp_path_factory):
+    """A checkpointed RNG continues the exact same stream after reload."""
+    path = tmp_path_factory.mktemp("ckpt") / "state.npz"
+    rng = np.random.default_rng(rng_seed)
+    rng.normal(size=7)  # advance off the seed state
+    save_checkpoint(path, {"rng": rng.bit_generator.state,
+                           "data": data})
+    loaded = load_checkpoint(path).state
+    fresh = np.random.default_rng(0)
+    fresh.bit_generator.state = loaded["rng"]
+    np.testing.assert_array_equal(fresh.normal(size=9), rng.normal(size=9))
+    np.testing.assert_array_equal(loaded["data"], data)

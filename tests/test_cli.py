@@ -197,6 +197,77 @@ class TestTraceCommand:
         assert "sparql.answer" in out
         assert "fwd ms" in out  # profiler table
 
+class TestCheckpointResume:
+    def _common(self, model_dir):
+        return ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
+                "--scale", "0.3", "--model-dir", str(model_dir),
+                "--queries", "5"]
+
+    def _epoch_losses(self, telemetry_path):
+        events = [json.loads(line)
+                  for line in telemetry_path.read_text().splitlines()]
+        return {e["epoch"]: e["loss"] for e in events
+                if e["event"] == "epoch"}
+
+    def test_checkpoint_every_writes_resumable_files(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpt"
+        assert main(["train", *self._common(tmp_path), "--epochs", "4",
+                     "--checkpoint-every", "2",
+                     "--checkpoint-dir", str(ckpt_dir)]) == 0
+        from repro.ckpt import CheckpointManager, load_checkpoint
+        manager = CheckpointManager(ckpt_dir)
+        latest = manager.latest()
+        assert latest is not None
+        checkpoint = load_checkpoint(latest)
+        assert checkpoint.manifest.meta["epoch"] == 4
+        assert checkpoint.manifest.meta["dataset"] == "FB237"
+        assert "trainer" in checkpoint.state  # resumable, not model-only
+
+    def test_resume_continues_same_loss_trajectory(self, tmp_path, capsys):
+        """CLI acceptance: interrupt at epoch 3, resume to 6, and the
+        per-epoch losses match an uninterrupted 6-epoch run exactly."""
+        full_log = tmp_path / "full.jsonl"
+        assert main(["train", *self._common(tmp_path / "full"),
+                     "--epochs", "6", "--telemetry", str(full_log)]) == 0
+
+        ckpt_dir = tmp_path / "ckpt"
+        part = self._common(tmp_path / "part")
+        assert main(["train", *part, "--epochs", "3",
+                     "--checkpoint-every", "1",
+                     "--checkpoint-dir", str(ckpt_dir)]) == 0
+        resumed_log = tmp_path / "resumed.jsonl"
+        capsys.readouterr()
+        assert main(["train", *part, "--epochs", "6", "--resume",
+                     "--checkpoint-dir", str(ckpt_dir),
+                     "--telemetry", str(resumed_log)]) == 0
+        assert "resumed from" in capsys.readouterr().out
+
+        full = self._epoch_losses(full_log)
+        resumed = self._epoch_losses(resumed_log)
+        assert sorted(resumed) == [4, 5, 6]  # continued, not restarted
+        for epoch in (4, 5, 6):
+            assert resumed[epoch] == full[epoch]  # bit-for-bit
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path, capsys):
+        assert main(["train", *self._common(tmp_path), "--epochs", "2",
+                     "--resume",
+                     "--checkpoint-dir", str(tmp_path / "empty")]) == 0
+        assert "starting fresh" in capsys.readouterr().out
+
+    def test_resume_rejects_mismatched_run(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpt"
+        assert main(["train", *self._common(tmp_path), "--epochs", "2",
+                     "--checkpoint-every", "1",
+                     "--checkpoint-dir", str(ckpt_dir)]) == 0
+        with pytest.raises(SystemExit, match="dim"):
+            main(["train", "--dataset", "FB237", "--method", "HaLk",
+                  "--dim", "16", "--scale", "0.3",
+                  "--model-dir", str(tmp_path), "--queries", "5",
+                  "--epochs", "3", "--resume",
+                  "--checkpoint-dir", str(ckpt_dir)])
+
+
+class TestTelemetry:
     def test_train_telemetry_stream(self, tmp_path, capsys):
         telemetry = tmp_path / "train.jsonl"
         common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
