@@ -57,7 +57,7 @@ def _stage_breakdown(model, supported):
             if name in ("model.embed", "model.distance", "model.rank")}
 
 
-def _online_times(context, dataset, queries):
+def _online_times(context, dataset, queries, num_shards=0):
     times = {}
     stages = {}
     for method in EMBEDDING_METHODS:
@@ -74,6 +74,8 @@ def _online_times(context, dataset, queries):
             model.rank_all_entities([query])
         times[method] = 1000 * (time.perf_counter() - start) / len(supported)
         stages[method] = _stage_breakdown(model, supported)
+        if method == "HaLk" and num_shards >= 2:
+            times.update(_sharded_time(model, supported, num_shards))
     gfinder = GFinder(context.splits(dataset).train)
     start = time.perf_counter()
     for query in queries:
@@ -82,13 +84,29 @@ def _online_times(context, dataset, queries):
     return times, stages
 
 
+def _sharded_time(model, supported, num_shards):
+    """--shards column: the same HaLk pass through the worker pool."""
+    from repro.dist import ShardedRanker
+
+    ranker = ShardedRanker.for_model(model, num_shards)
+    if ranker is None:  # no shared memory on this platform
+        return {}
+    with ranker:
+        model.rank_all_entities(supported[:1], ranker=ranker)  # warm
+        start = time.perf_counter()
+        for query in supported:
+            model.rank_all_entities([query], ranker=ranker)
+        elapsed = time.perf_counter() - start
+    return {f"HaLk@{num_shards}sh": 1000 * elapsed / len(supported)}
+
+
 @pytest.mark.parametrize("dataset", DATASETS)
-def test_fig6c_online_time(benchmark, context, dataset):
+def test_fig6c_online_time(benchmark, context, dataset, num_shards):
     """Regenerate one dataset group of Fig. 6c."""
     queries = _queries(context, dataset)
-    times, stages = benchmark.pedantic(_online_times,
-                                       args=(context, dataset, queries),
-                                       rounds=1, iterations=1)
+    times, stages = benchmark.pedantic(
+        _online_times, args=(context, dataset, queries),
+        kwargs={"num_shards": num_shards}, rounds=1, iterations=1)
     print()
     print(f"Fig. 6c ({dataset}): online time per query (ms)")
     for method, value in times.items():

@@ -28,6 +28,7 @@ Run::
 
 import time
 
+import numpy as np
 import pytest
 
 from repro import obs
@@ -107,3 +108,79 @@ def test_bench_serve_throughput(benchmark):
         "micro-batching should amortise the per-query embed/rank cost"
     assert out["cached"] >= out["batched"], \
         "the answer cache should beat recomputation"
+
+
+# ----------------------------------------------------------------------
+# sharded ranking (--shards N)
+# ----------------------------------------------------------------------
+
+def _synthetic_model(num_entities=30_000, dim=32, num_queries=64, seed=0):
+    """A synthetic KG big enough that ranking dominates serving cost."""
+    from repro.config import ModelConfig
+    from repro.core import HalkModel
+    from repro.kg import KnowledgeGraph
+    from repro.queries import Entity, Projection
+
+    rng = np.random.default_rng(seed)
+    triples = [(int(rng.integers(num_entities)), int(rng.integers(8)),
+                int(rng.integers(num_entities))) for _ in range(4096)]
+    kg = KnowledgeGraph(num_entities, 8, triples)
+    model = HalkModel(kg, ModelConfig(embedding_dim=dim, seed=seed))
+    queries = [Projection(rel, Entity(head))
+               for head, rel, _ in list(kg)[:num_queries]]
+    return model, queries
+
+
+def _measure_sharded(num_shards, rounds=1, top_k=10):
+    from repro.core.topk import topk_rows
+    from repro.dist import ShardedRanker
+
+    model, queries = _synthetic_model()
+    embedding = model.embed_batch(queries)
+
+    def single_pass():
+        distances = model.distance_to_all(embedding).data
+        ids = topk_rows(distances, top_k)
+        return ids, np.take_along_axis(distances, ids, axis=-1)
+
+    single_ids, single_vals = single_pass()  # warm-up + reference
+    start = time.perf_counter()
+    for _ in range(rounds):
+        single_pass()
+    single = rounds * len(queries) / (time.perf_counter() - start)
+
+    with ShardedRanker.for_model(model, num_shards) as ranker:
+        sharded_ids, sharded_vals = ranker.topk(embedding, top_k)  # warm
+        start = time.perf_counter()
+        for _ in range(rounds):
+            ranker.topk(embedding, top_k)
+        sharded = rounds * len(queries) / (time.perf_counter() - start)
+
+    # correctness is part of the benchmark: the sharded path must return
+    # the *identical* ranking, bit for bit, ties included
+    assert np.array_equal(sharded_ids, single_ids)
+    assert np.array_equal(sharded_vals, single_vals)
+    return {"single": single, "sharded": sharded,
+            "queries": len(queries)}
+
+
+def test_bench_sharded_ranking_throughput(benchmark, num_shards):
+    """--shards N ranking must be ≥ 2× the single-process pass."""
+    from repro.dist import dist_available
+
+    if num_shards < 2:
+        pytest.skip("sharded rows disabled (--shards < 2)")
+    if not dist_available():
+        pytest.skip("shared memory unavailable on this platform")
+    out = benchmark.pedantic(_measure_sharded, args=(num_shards,),
+                             rounds=1, iterations=1)
+    print()
+    print(f"ranking throughput, synthetic KG (30k entities, "
+          f"{out['queries']}-query batch):")
+    speedup = out["sharded"] / out["single"]
+    print(f"  {'single':<18} {out['single']:>10,.0f} q/s  (  1.0x)")
+    print(f"  {f'sharded@{num_shards}':<18} {out['sharded']:>10,.0f} q/s  "
+          f"({speedup:>5.1f}x)")
+    assert out["sharded"] >= 2.0 * out["single"], \
+        "sharded ranking should clear 2x the single-process pass " \
+        "(blocked per-shard kernels + process parallelism)"

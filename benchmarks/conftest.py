@@ -14,7 +14,19 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 from common import shared_context  # noqa: E402
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shards", type=int, default=4, metavar="N",
+        help="worker count for the sharded-execution benchmark rows "
+             "(repro.dist); < 2 skips the sharded measurements")
+
+
 @pytest.fixture(scope="session")
 def context():
     """Session-wide ExperimentContext (datasets, workloads, trained models)."""
     return shared_context()
+
+
+@pytest.fixture(scope="session")
+def num_shards(request) -> int:
+    return request.config.getoption("--shards")

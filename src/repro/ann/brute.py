@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.topk import topk_rows
+
 __all__ = ["BruteForceIndex"]
 
 
@@ -16,7 +18,12 @@ class BruteForceIndex:
         self.points = np.asarray(points, dtype=np.float64)
 
     def query(self, query_angles: np.ndarray, top_k: int = 10) -> list[int]:
-        """The ``top_k`` entities nearest to a query point."""
+        """The ``top_k`` entities nearest to a query point.
+
+        Ordered by ascending ``(distance, entity id)`` — the same total
+        order as every other ranking path (:mod:`repro.core.topk`), so
+        index answers agree with model rankings even on ties.
+        """
         delta = (self.points - np.asarray(query_angles)[None, :]) / 2.0
         distances = np.abs(np.sin(delta)).sum(axis=-1)
-        return [int(i) for i in np.argsort(distances)[:top_k]]
+        return [int(i) for i in topk_rows(distances[None, :], top_k)[0]]

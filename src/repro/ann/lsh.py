@@ -18,6 +18,8 @@ from collections import defaultdict
 
 import numpy as np
 
+from ..core.topk import topk_rows
+
 __all__ = ["LshIndex"]
 
 
@@ -91,13 +93,19 @@ class LshIndex:
         With ``fallback`` (default), an empty/short candidate set degrades
         to exact search so the result is never worse than brute force on
         recall — only the candidate pool shrinks.
+
+        Candidate ids are sorted ascending before scoring, so the
+        ``(distance, entity id)`` order of :func:`repro.core.topk.topk_rows`
+        applies here too: tied entities come back in id order regardless
+        of hash-bucket iteration order, and the fallback path is
+        bit-identical to :class:`~repro.ann.brute.BruteForceIndex`.
         """
         candidates = self.candidates(query_angles)
         if fallback and len(candidates) < top_k:
             candidates = set(range(self.points.shape[0]))
-        ids = np.fromiter(candidates, dtype=np.int64)
+        ids = np.sort(np.fromiter(candidates, dtype=np.int64))
         distances = self._chord_distance(query_angles, self.points[ids])
-        order = np.argsort(distances)[:top_k]
+        order = topk_rows(distances[None, :], top_k)[0]
         return [int(ids[i]) for i in order]
 
     @staticmethod
@@ -110,7 +118,9 @@ class LshIndex:
         hits = 0
         total = 0
         for query in np.atleast_2d(queries):
-            exact = np.argsort(self._chord_distance(query, self.points))[:top_k]
+            exact = topk_rows(self._chord_distance(query,
+                                                   self.points)[None, :],
+                              top_k)[0]
             approx = set(self.query(query, top_k=top_k, fallback=False))
             hits += len(set(int(e) for e in exact) & approx)
             total += top_k

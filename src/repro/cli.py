@@ -113,13 +113,26 @@ def _train_and_save(args, epochs: int, queries: int, lr: float = 2e-3,
         callbacks.append(ckpt.CheckpointCallback(
             _checkpoint_dir(args), every=checkpoint_every,
             keep_last=getattr(args, "keep_last", 3), meta=run_meta))
-    trainer = Trainer(model, workload,
-                      TrainConfig(epochs=epochs, batch_size=128,
-                                  num_negatives=16, learning_rate=lr,
-                                  embedding_learning_rate=embedding_lr,
-                                  seed=args.seed,
-                                  log_every=max(1, epochs // 10)),
-                      callbacks=callbacks)
+    train_config = TrainConfig(epochs=epochs, batch_size=128,
+                               num_negatives=16, learning_rate=lr,
+                               embedding_learning_rate=embedding_lr,
+                               seed=args.seed,
+                               log_every=max(1, epochs // 10))
+    num_shards = getattr(args, "shards", 0)
+    if num_shards >= 2:
+        from .dist import ShardedTrainer, dist_available
+        if dist_available():
+            trainer = ShardedTrainer(model, workload, train_config,
+                                     num_workers=num_shards,
+                                     callbacks=callbacks)
+            print(f"data-parallel training over {num_shards} workers")
+        else:
+            print("shared memory unavailable; training single-process")
+            trainer = Trainer(model, workload, train_config,
+                              callbacks=callbacks)
+    else:
+        trainer = Trainer(model, workload, train_config,
+                          callbacks=callbacks)
     if getattr(args, "resume", False):
         latest = ckpt.CheckpointManager(_checkpoint_dir(args)).latest()
         if latest is None:
@@ -204,7 +217,17 @@ def cmd_evaluate(args) -> int:
             workload.add(query)
         except UnsupportedOperatorError:
             continue
-    results = evaluate(model, workload)
+    ranker = None
+    if getattr(args, "shards", 0) >= 2:
+        from .dist import ShardedRanker
+        ranker = ShardedRanker.for_model(model, args.shards)
+        if ranker is not None:
+            print(f"sharded ranking over {ranker.num_shards} workers")
+    try:
+        results = evaluate(model, workload, ranker=ranker)
+    finally:
+        if ranker is not None:
+            ranker.close()
     print(f"{'structure':>10} {'MRR':>7} {'Hits@1':>7} {'Hits@3':>7} "
           f"{'Hits@10':>8}")
     for structure in workload.structures():
@@ -249,7 +272,8 @@ def cmd_serve(args) -> int:
                          flush_timeout=args.flush_timeout,
                          num_workers=args.workers,
                          answer_ttl=args.answer_ttl,
-                         default_deadline=args.deadline)
+                         default_deadline=args.deadline,
+                         num_shards=getattr(args, "shards", 0))
     with ServeRuntime(model, kg=splits.train, index=index,
                       config=config) as runtime:
         if args.watch:
@@ -360,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--model-dir", default="models")
 
+    def shards(p):
+        p.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="sharded multi-process execution over N "
+                            "repro.dist workers (0/1 = single-process; "
+                            "falls back silently where shared memory or "
+                            "the model does not support it)")
+
     p = sub.add_parser("datasets", help="list benchmark datasets")
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
@@ -389,12 +420,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume from the latest checkpoint in the "
                         "checkpoint directory; continues the exact loss "
                         "trajectory of the uninterrupted run")
+    shards(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a trained model")
     common(p)
     p.add_argument("--queries", type=int, default=30,
                    help="evaluation queries per structure")
+    shards(p)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("answer", help="answer a SPARQL query")
@@ -435,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="train a quick model first when none is saved")
     p.add_argument("--train-epochs", type=int, default=30)
     p.add_argument("--train-queries", type=int, default=50)
+    shards(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("trace",

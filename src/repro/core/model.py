@@ -30,25 +30,12 @@ from .arc import TWO_PI, Arc
 from .distance import distance_to_points
 from .operators import (DifferenceOperator, IntersectionOperator,
                         NegationOperator, ProjectionOperator)
+# Re-exported here for backwards compatibility; the helper lives in
+# ``core.topk`` so the ANN indexes and the ``repro.dist`` merge can share
+# it without importing the model stack.
+from .topk import topk_rows
 
 __all__ = ["QueryModel", "HalkModel", "HalkQueryEmbedding", "topk_rows"]
-
-
-def topk_rows(distances: np.ndarray, k: int) -> np.ndarray:
-    """Indices of the ``k`` smallest entries per row, sorted ascending.
-
-    ``argpartition`` + a small ``argsort`` over the partition instead of a
-    full-row ``argsort`` — the difference matters when ranking all N
-    entities for every query in a served batch.
-    """
-    n = distances.shape[-1]
-    k = min(k, n)
-    if k >= n:
-        return np.argsort(distances, axis=-1)
-    part = np.argpartition(distances, k - 1, axis=-1)[..., :k]
-    vals = np.take_along_axis(distances, part, axis=-1)
-    order = np.argsort(vals, axis=-1)
-    return np.take_along_axis(part, order, axis=-1)
 
 
 class QueryModel(Module):
@@ -120,14 +107,22 @@ class QueryModel(Module):
     # convenience inference API (shared by all models)
     # ------------------------------------------------------------------
     def rank_all_entities(self, queries: list[Node],
-                          batch_size: int = 64) -> np.ndarray:
-        """Distance matrix ``(len(queries), N)`` without recording grads."""
+                          batch_size: int = 64, ranker=None) -> np.ndarray:
+        """Distance matrix ``(len(queries), N)`` without recording grads.
+
+        With a :class:`repro.dist.ShardedRanker` the per-shard distance
+        blocks are computed by the worker pool and concatenated — bitwise
+        identical to the in-process pass (see DESIGN.md §7).
+        """
         rows = []
         with no_grad():
             for start in range(0, len(queries), batch_size):
                 chunk = queries[start:start + batch_size]
                 embedding = self.embed_batch(chunk)
-                rows.append(self.distance_to_all(embedding).data)
+                if ranker is not None:
+                    rows.append(ranker.distances(embedding))
+                else:
+                    rows.append(self.distance_to_all(embedding).data)
         return np.concatenate(rows, axis=0)
 
     def answer(self, query: Node, top_k: int = 10) -> list[int]:
@@ -135,13 +130,18 @@ class QueryModel(Module):
         return self.answer_batch([query], top_k=top_k)[0]
 
     def answer_batch(self, queries: list[Node], top_k: int = 10,
-                     batch_size: int = 64) -> list[list[int]]:
+                     batch_size: int = 64, ranker=None) -> list[list[int]]:
         """Top-k answers for many queries, in input order.
 
         Unlike :meth:`rank_all_entities`, the queries may mix structures:
         they are grouped by :func:`structure_signature` so every
         ``embed_batch`` call still sees one structure, and each group pays
         the embedding + distance matmuls once instead of per query.
+
+        ``ranker`` may be a :class:`repro.dist.ShardedRanker`; the
+        distance + rank stages then run on the sharded worker pool and
+        return exactly the same answers as the in-process path (both
+        order by ``(distance, entity id)`` — see ``core.topk``).
         """
         tracer = get_tracer()
         with tracer.span("model.answer_batch", queries=len(queries)):
@@ -157,12 +157,17 @@ class QueryModel(Module):
                         with tracer.span("model.embed", batch=len(chunk)):
                             embedding = self.embed_batch(
                                 [queries[i] for i in chunk])
-                        with tracer.span("model.distance"):
-                            distances = self.distance_to_all(embedding).data
-                        with tracer.span("model.rank"):
-                            top = topk_rows(distances, top_k)
-                            for row, position in enumerate(chunk):
-                                out[position] = [int(e) for e in top[row]]
+                        if ranker is not None:
+                            with tracer.span("model.rank"):
+                                top, _ = ranker.topk(embedding, top_k)
+                        else:
+                            with tracer.span("model.distance"):
+                                distances = \
+                                    self.distance_to_all(embedding).data
+                            with tracer.span("model.rank"):
+                                top = topk_rows(distances, top_k)
+                        for row, position in enumerate(chunk):
+                            out[position] = [int(e) for e in top[row]]
             return out
 
     # ------------------------------------------------------------------
@@ -183,6 +188,32 @@ class QueryModel(Module):
         One ``(B, d)`` angle array per DNF branch, usable as probes for an
         :class:`repro.ann.LshIndex`; None when the model has no point
         geometry.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # optional hooks used by the sharded executor (repro.dist)
+    # ------------------------------------------------------------------
+    def sharding_spec(self):
+        """Entity table + scorer for sharded ranking, or None.
+
+        Models that support :class:`repro.dist.ShardedRanker` return a
+        ``(points, scorer)`` pair: ``points`` is the ``(N, d)`` float64
+        entity representation published to shard workers via shared
+        memory, and ``scorer`` is a picklable
+        :class:`repro.dist.ShardScorer` that turns a
+        :meth:`ranking_payload` plus a contiguous row block of ``points``
+        into a ``(B, n)`` distance block — bitwise identical to the
+        corresponding columns of :meth:`distance_to_all`.
+        """
+        return None
+
+    def ranking_payload(self, embedding):
+        """Picklable payload a :class:`~repro.dist.ShardScorer` consumes.
+
+        Plain-numpy snapshot of a query embedding (no autograd graph),
+        small enough to ship to worker processes per batch.  None when
+        the model does not support sharding.
         """
         return None
 
@@ -339,6 +370,30 @@ class HalkModel(QueryModel):
 
     def query_points(self, embedding: HalkQueryEmbedding) -> list[np.ndarray]:
         return [arc.wrapped_center() for arc in embedding.branches]
+
+    # ------------------------------------------------------------------
+    # sharding hooks (repro.dist)
+    # ------------------------------------------------------------------
+    def sharding_spec(self):
+        """Wrapped entity angles + the arc-distance scorer.
+
+        The published table applies the same ``wrap_angle`` the model's
+        own ``_points_for`` applies, so a shard worker scoring a row
+        block reproduces :meth:`distance_to_all` bit-for-bit on those
+        columns.
+        """
+        from ..dist.scorer import ArcShardScorer
+        # plain-numpy replica of F.wrap_angle (same ops → same bits),
+        # kept off the autograd graph on purpose
+        points = np.mod(self.entity_points.weight.data, TWO_PI)
+        points = np.where(points >= TWO_PI, 0.0, points)
+        return points, ArcShardScorer(eta=self.config.eta,
+                                      radius=self.config.radius)
+
+    def ranking_payload(self, embedding: HalkQueryEmbedding):
+        return [(np.ascontiguousarray(arc.center.data),
+                 np.ascontiguousarray(arc.length.data))
+                for arc in embedding.branches]
 
     # ------------------------------------------------------------------
     # group signatures (for the ξ term of Eq. 17)

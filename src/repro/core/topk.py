@@ -1,0 +1,69 @@
+"""Deterministic top-k selection shared by ranking paths everywhere.
+
+Every component that turns a distance row into an answer list — the model
+inference API, the serving runtime, the ANN indexes, and the sharded
+``repro.dist`` merge — goes through :func:`topk_rows`, so they all agree
+on one total order:
+
+**Tie-break rule.** Candidates are ordered by ``(distance, position)``
+ascending, where *position* is the index within the scored array.  When
+the scored array is the full entity vocabulary (``distance_to_all``),
+position *is* the entity id, so distance ties resolve to the smallest
+entity id.  This makes rankings reproducible across runs and — because
+the order is total — makes the sharded per-shard-top-k + merge of
+``repro.dist`` return *bitwise identical* answers to the single-process
+pass (see DESIGN.md §7).
+
+``np.argpartition`` alone cannot guarantee this: when the k-th smallest
+value is tied, the partition keeps an arbitrary subset of the tied
+candidates.  :func:`topk_rows` therefore partitions first (O(n)) and then
+re-selects the boundary deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["topk_rows"]
+
+
+def topk_rows(distances: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest entries per row, deterministically.
+
+    Rows are ordered by ``(value, index)`` ascending — ties in value are
+    broken by the smaller index (= smaller entity id when ranking the
+    full vocabulary).  Works on any array; the last axis is reduced.
+
+    ``argpartition`` + a small stable ``argsort`` over the partition
+    instead of a full-row ``argsort`` — the difference matters when
+    ranking all N entities for every query in a served batch.  Rows whose
+    partition boundary is tied fall back to an exact candidate re-scan so
+    the deterministic order holds even there.
+    """
+    distances = np.asarray(distances)
+    n = distances.shape[-1]
+    k = min(int(k), n)
+    if k <= 0:
+        return np.empty(distances.shape[:-1] + (0,), dtype=np.int64)
+    if k >= n:
+        # stable sort: equal values keep ascending-index order
+        return np.argsort(distances, axis=-1, kind="stable")
+    lead = distances.shape[:-1]
+    rows = distances.reshape(-1, n)
+    part = np.argpartition(rows, k - 1, axis=-1)[:, :k]
+    vals = np.take_along_axis(rows, part, axis=-1)
+    kth = vals.max(axis=-1)
+    out = np.empty((rows.shape[0], k), dtype=np.int64)
+    for i in range(rows.shape[0]):
+        row = rows[i]
+        # every candidate that could make the deterministic top-k: the
+        # partition is only used to find the k-th value cheaply
+        candidates = np.nonzero(row <= kth[i])[0]
+        if candidates.size < k:  # NaNs pushed the boundary: exact path
+            out[i] = np.argsort(row, kind="stable")[:k]
+            continue
+        order = np.argsort(row[candidates], kind="stable")[:k]
+        # ``candidates`` is ascending and the sort is stable, so equal
+        # values resolve to the smallest index
+        out[i] = candidates[order]
+    return out.reshape(lead + (k,))

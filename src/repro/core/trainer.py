@@ -25,7 +25,42 @@ from .loss import group_penalty, halk_loss
 from .model import QueryModel
 
 __all__ = ["Trainer", "TrainingHistory", "CurriculumPhase",
-           "train_curriculum"]
+           "train_curriculum", "batch_loss"]
+
+
+def batch_loss(model: QueryModel, queries, positives: np.ndarray,
+               negatives: np.ndarray, *, gamma: float, xi: float,
+               size_regularization: float,
+               adversarial_temperature: float):
+    """Eq. (17) loss of one same-structure batch (differentiable).
+
+    Factored out of :meth:`Trainer.step` so the data-parallel
+    ``repro.dist.ShardedTrainer`` workers compute *exactly* the loss the
+    single-process trainer computes on their sub-batch: every per-query
+    term is row-independent, so the full-batch loss is the sample-count
+    weighted mean of sub-batch losses, and the full-batch gradient the
+    matching weighted sum of sub-batch gradients.
+    """
+    embedding = model.embed_batch(queries)
+    pos_dist = model.distance_to_entities(embedding, positives[:, None])[:, 0]
+    neg_dist = model.distance_to_entities(embedding, negatives)
+
+    pos_pen = neg_pen = None
+    use_xi = 0.0
+    signature = model.query_signature(embedding)
+    if signature is not None and xi > 0:
+        use_xi = xi
+        pos_pen = group_penalty(
+            model.entity_signatures(positives), signature)
+        neg_pen = group_penalty(
+            model.entity_signatures(negatives), signature[:, None, :])
+    loss = halk_loss(pos_dist, neg_dist, gamma, use_xi, pos_pen, neg_pen,
+                     adversarial_temperature)
+    if size_regularization > 0:
+        penalty = model.size_penalty(embedding)
+        if penalty is not None:
+            loss = loss + size_regularization * penalty
+    return loss
 
 
 @dataclass
@@ -231,36 +266,24 @@ class Trainer:
 
         for optimizer in self.optimizers:
             optimizer.zero_grad()
-        embedding = self.model.embed_batch(queries)
-        pos_dist = self.model.distance_to_entities(
-            embedding, positives[:, None])[:, 0]
-        neg_dist = self.model.distance_to_entities(embedding, negatives)
-
-        pos_pen = neg_pen = None
-        xi = 0.0
-        signature = self.model.query_signature(embedding)
-        if signature is not None and self.xi > 0:
-            xi = self.xi
-            pos_pen = group_penalty(
-                self.model.entity_signatures(positives), signature)
-            neg_pen = group_penalty(
-                self.model.entity_signatures(negatives), signature[:, None, :])
-        loss = halk_loss(pos_dist, neg_dist, self.gamma, xi, pos_pen, neg_pen,
-                         self.config.adversarial_temperature)
-        if self.config.size_regularization > 0:
-            penalty = self.model.size_penalty(embedding)
-            if penalty is not None:
-                loss = loss + self.config.size_regularization * penalty
+        loss = batch_loss(
+            self.model, queries, positives, negatives, gamma=self.gamma,
+            xi=self.xi,
+            size_regularization=self.config.size_regularization,
+            adversarial_temperature=self.config.adversarial_temperature)
         loss.backward()
+        self._record_grad_norm()
+        for optimizer in self.optimizers:
+            optimizer.step()
+        return float(loss.data)
+
+    def _record_grad_norm(self) -> None:
         if self._collect_stats:
             total = 0.0
             for param in self.model.parameters():
                 if param.grad is not None:
                     total += float(np.sum(param.grad * param.grad))
             self._last_grad_norm = float(np.sqrt(total))
-        for optimizer in self.optimizers:
-            optimizer.step()
-        return float(loss.data)
 
     # ------------------------------------------------------------------
     def _sample_positives(self, batch: list[GroundedQuery]) -> np.ndarray:

@@ -1,0 +1,54 @@
+"""Exact top-k reduction over per-shard candidate lists.
+
+Each shard worker returns its local top-k as ``(ids, vals)`` with global
+entity ids (local row offset by the shard's start).  Because the distance
+of an entity depends only on that entity's own row (the score is
+elementwise per entity — "monotone" in the sense that no cross-entity
+interaction can reorder it), every member of the global top-k is
+necessarily inside its own shard's local top-k, so concatenating the
+per-shard candidates and re-selecting k is *exact* — no recall loss,
+unlike LSH candidate generation (DESIGN.md §7).
+
+Determinism: the reduction reuses :func:`repro.core.topk.topk_rows`,
+whose tie-break is ``(value, position)``.  Shards are concatenated in
+ascending range order and each shard's equal-valued candidates already
+arrive in ascending-id order (the workers use the same helper), so
+position order in the concatenation *is* global-id order among ties —
+the merged result is bitwise identical to ranking the full table in one
+process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.topk import topk_rows
+
+__all__ = ["merge_topk"]
+
+
+def merge_topk(ids: "list[np.ndarray]", vals: "list[np.ndarray]",
+               k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard ``(B, k_i)`` candidates into the global top-k.
+
+    Parameters
+    ----------
+    ids:
+        Per-shard global entity ids, ascending-shard order.
+    vals:
+        Matching distances.
+    k:
+        Result width; clipped to the total candidate count.
+
+    Returns
+    -------
+    ``(ids, vals)`` of shape ``(B, k)``, ordered by
+    ``(distance, entity id)`` ascending.
+    """
+    if not ids or len(ids) != len(vals):
+        raise ValueError("ids/vals must be equal-length non-empty lists")
+    cand_ids = np.concatenate(ids, axis=-1)
+    cand_vals = np.concatenate(vals, axis=-1)
+    select = topk_rows(cand_vals, k)
+    return (np.take_along_axis(cand_ids, select, axis=-1),
+            np.take_along_axis(cand_vals, select, axis=-1))

@@ -1,0 +1,238 @@
+"""Entity shard plans published through ``multiprocessing.shared_memory``.
+
+The entity embedding table is the one large array every shard worker
+needs.  :class:`EntityShardPlan` partitions its rows into K *contiguous*
+shards and publishes the whole table once as a named shared-memory
+segment; each worker attaches the segment and takes a zero-copy numpy
+view of its ``[start, stop)`` row block.  Contiguity is what keeps the
+top-k merge exact: shard-local positions translate to global entity ids
+by a constant offset (see DESIGN.md §7).
+
+Publishing is write-through: :meth:`EntityShardPlan.update` rewrites the
+segment in place, so after a hot model reload every attached worker sees
+the new weights on its next score call without any message or copy.
+
+Cleanup is refcounted.  The creating process owns the segment and
+unlinks it when the last :class:`SharedArray` handle closes; attaching
+processes only close their mapping.  On CPython < 3.13 an *attaching*
+``SharedMemory`` wrongly registers with the ``resource_tracker`` (it
+would unlink the segment when the worker exits — bpo-38119), so attach
+goes through :func:`_attach_untracked`.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["dist_available", "SharedArray", "SharedArraySpec",
+           "EntityShardPlan", "ShardRange", "partition_rows"]
+
+_AVAILABLE: bool | None = None
+
+
+def dist_available() -> bool:
+    """Whether POSIX/Windows shared memory actually works here.
+
+    Import success is not enough: locked-down containers may mount
+    ``/dev/shm`` read-only or not at all.  Probes once per process.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+            probe = shared_memory.SharedMemory(create=True, size=8)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Suppresses the ``resource_tracker.register`` call during attach
+    rather than unregistering afterwards: spawned workers share the
+    parent's tracker process, so an *unregister* message from a worker
+    would delete the owner's registration and the owner's later unlink
+    would crash the tracker (bpo-38119).
+    """
+    from multiprocessing import shared_memory
+    try:  # pragma: no cover - version dependent
+        from multiprocessing import resource_tracker
+        original = resource_tracker.register
+
+        def _skip_shared_memory(res_name, rtype):
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except ImportError:
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle to a published array (ships to workers)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def attach(self) -> "SharedArray":
+        """Map the segment in this process (read/write view, no copy)."""
+        shm = _attach_untracked(self.name)
+        return SharedArray(shm, self.shape, self.dtype, owner=False)
+
+
+class SharedArray:
+    """A numpy array backed by a named shared-memory segment.
+
+    The creating side (``owner=True``) unlinks the segment on
+    :meth:`close`; attached sides only unmap.  ``ndarray`` is a zero-copy
+    view — slicing it hands out views too, which is how shard workers see
+    their row block without duplicating the table.
+    """
+
+    def __init__(self, shm, shape, dtype, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self.spec = SharedArraySpec(shm.name, tuple(int(s) for s in shape),
+                                    str(dtype))
+        self.ndarray = np.ndarray(self.spec.shape, dtype=np.dtype(dtype),
+                                  buffer=shm.buf)
+
+    @classmethod
+    def create(cls, array: np.ndarray, name: str | None = None
+               ) -> "SharedArray":
+        """Publish a copy of ``array`` as a new shared segment."""
+        from multiprocessing import shared_memory
+        array = np.ascontiguousarray(array)
+        name = name or f"repro-{secrets.token_hex(6)}"
+        shm = shared_memory.SharedMemory(create=True, name=name,
+                                         size=max(array.nbytes, 1))
+        out = cls(shm, array.shape, array.dtype, owner=True)
+        out.ndarray[...] = array
+        return out
+
+    def write(self, array: np.ndarray) -> None:
+        """Overwrite the published values in place (same shape/dtype)."""
+        if array.shape != self.ndarray.shape:
+            raise ValueError(f"shape changed: published "
+                             f"{self.ndarray.shape}, got {array.shape}")
+        self.ndarray[...] = array
+
+    def close(self) -> None:
+        """Unmap; the owner additionally destroys the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        # drop the buffer view before closing the mapping; if a caller
+        # still holds a slice, leave the mapping to process exit rather
+        # than crash (the segment itself is still unlinked below)
+        self.ndarray = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One contiguous row block ``[start, stop)`` of the entity table."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def partition_rows(num_rows: int, num_shards: int) -> list[ShardRange]:
+    """Split ``num_rows`` into ``num_shards`` balanced contiguous ranges.
+
+    The first ``num_rows % num_shards`` shards get one extra row, so
+    shard sizes differ by at most one.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    if num_rows < num_shards:
+        raise ValueError(f"cannot split {num_rows} rows into "
+                         f"{num_shards} non-empty shards")
+    base, extra = divmod(num_rows, num_shards)
+    ranges = []
+    start = 0
+    for index in range(num_shards):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append(ShardRange(index, start, stop))
+        start = stop
+    return ranges
+
+
+class EntityShardPlan:
+    """K contiguous shards of an entity table, published once.
+
+    Parameters
+    ----------
+    points:
+        ``(N, d)`` entity representation (e.g. wrapped circle angles).
+    num_shards:
+        Number of contiguous row blocks.
+    """
+
+    def __init__(self, points: np.ndarray, num_shards: int):
+        points = np.asarray(points)
+        if points.ndim != 2:
+            raise ValueError("points must be (N, d)")
+        self.num_entities = points.shape[0]
+        self.dim = points.shape[1]
+        self.ranges = partition_rows(self.num_entities, num_shards)
+        self.table = SharedArray.create(points)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.ranges)
+
+    def shard_spec(self, index: int) -> tuple[SharedArraySpec, ShardRange]:
+        """What a worker needs to map its block: (segment, row range)."""
+        return self.table.spec, self.ranges[index]
+
+    def update(self, points: np.ndarray) -> None:
+        """Write-through refresh after the model's weights changed.
+
+        Attached workers observe the new values immediately; callers
+        must quiesce in-flight scoring first (the serving runtime does
+        this under its model write lock).
+        """
+        self.table.write(np.asarray(points))
+
+    def close(self) -> None:
+        """Destroy the published segment (workers must detach first)."""
+        self.table.close()
+
+    def __enter__(self) -> "EntityShardPlan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

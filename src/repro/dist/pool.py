@@ -1,0 +1,298 @@
+"""Persistent shard worker processes: warm, supervised, respawnable.
+
+:class:`ShardWorkerPool` runs one OS process per shard.  Workers are
+*persistent* — spawned once, kept warm across requests — because spawn
+start-up (a fresh interpreter + imports) costs ~1s and must never sit on
+the per-query path.
+
+Spawn-safety: the worker entry point is the module-level
+:func:`_worker_main`, and everything a worker needs arrives as picklable
+``Process`` args — a :class:`WorkerRole` describing what to do and how to
+attach its shared-memory views.  The default start method is ``spawn``
+(safe with the serving runtime's threads; ``fork`` would duplicate lock
+state); ``fork``/``forkserver`` can be opted into where available.
+
+Supervision: every request carries a sequence number.  While waiting for
+a reply the parent polls worker liveness; a worker that died (OOM-killed,
+segfault, crash-injection in tests) is respawned, its shared-memory views
+re-attached by the fresh process, and the in-flight request re-sent —
+the caller sees a slower answer, never a wrong or missing one.  Replies
+with stale sequence numbers (from a worker that died *after* computing)
+are discarded.
+
+Shutdown is graceful-then-firm: a stop message, a bounded ``join``, then
+``terminate``/``kill`` for stragglers, and queue teardown — tests assert
+no orphan processes and no leaked segments after :meth:`close`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+import traceback
+
+__all__ = ["WorkerRole", "ShardWorkerPool", "WorkerCrash", "DistError"]
+
+#: how long a worker gets to finish cleanly at close() before terminate()
+_STOP_GRACE = 5.0
+#: poll interval while waiting for a reply (liveness check cadence)
+_POLL = 0.05
+
+
+class DistError(RuntimeError):
+    """A shard worker failed in a way a respawn cannot fix."""
+
+
+class WorkerCrash(RuntimeError):
+    """Raised in tests/injection to simulate a hard worker death."""
+
+
+class WorkerRole:
+    """What one worker process does (picklable; shipped at spawn).
+
+    Subclasses implement :meth:`setup` (runs once in the worker: attach
+    shared memory, build state) and :meth:`handle` (runs per request).
+    ``teardown`` releases what setup acquired.
+    """
+
+    def setup(self):
+        """Return worker-local state passed to every :meth:`handle`."""
+        return None
+
+    def handle(self, state, payload):
+        """Compute one reply; must be picklable."""
+        raise NotImplementedError
+
+    def teardown(self, state) -> None:
+        """Release worker-local resources (close shm views, ...)."""
+
+
+def _worker_main(role: WorkerRole, task_q, result_q) -> None:
+    """Worker process body: setup, serve requests, teardown."""
+    try:
+        state = role.setup()
+    except BaseException:
+        result_q.put(("boot_error", 0, traceback.format_exc()))
+        return
+    result_q.put(("ready", 0, os.getpid()))
+    try:
+        while True:
+            message = task_q.get()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "task":
+                _, seq, payload = message
+                started = time.perf_counter()
+                try:
+                    reply = role.handle(state, payload)
+                except WorkerCrash:  # crash injection: die like SIGKILL
+                    os._exit(1)
+                except BaseException:
+                    result_q.put(("error", seq, traceback.format_exc()))
+                else:
+                    result_q.put(("ok", seq,
+                                  (reply, started, time.perf_counter())))
+    finally:
+        role.teardown(state)
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    def __init__(self, ctx, role: WorkerRole):
+        self.role = role
+        self.task_q = ctx.Queue()
+        self.result_q = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main, args=(role, self.task_q, self.result_q),
+            daemon=True, name="repro-dist-worker")
+        self.process.start()
+
+    def wait_ready(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DistError("shard worker did not come up in time")
+            try:
+                kind, _, detail = self.result_q.get(timeout=min(remaining,
+                                                                _POLL * 4))
+            except queue_mod.Empty:
+                if not self.process.is_alive():
+                    raise DistError("shard worker died during start-up")
+                continue
+            if kind == "boot_error":
+                raise DistError(f"shard worker failed to start:\n{detail}")
+            if kind == "ready":
+                return
+
+    def drain(self) -> None:
+        """Discard stale replies left over from a superseded request."""
+        while True:
+            try:
+                self.result_q.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                return
+
+    def stop(self) -> None:
+        try:
+            self.task_q.put(("stop",))
+        except (OSError, ValueError):  # queue already torn down
+            pass
+        self.process.join(timeout=_STOP_GRACE)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=1.0)
+        for q in (self.task_q, self.result_q):
+            q.cancel_join_thread()
+            q.close()
+
+
+class ShardWorkerPool:
+    """K supervised worker processes executing :class:`WorkerRole` s.
+
+    Parameters
+    ----------
+    roles:
+        One role per worker (e.g. a rank role per entity shard).
+    start_method:
+        ``spawn`` (default, thread-safe), ``fork`` or ``forkserver``.
+    start_timeout:
+        Seconds allowed for a worker to import + setup.
+    respawn:
+        Whether a dead worker is transparently restarted (on by
+        default; crash-injection tests rely on it).
+    """
+
+    def __init__(self, roles: list[WorkerRole],
+                 start_method: str | None = None,
+                 start_timeout: float = 60.0, respawn: bool = True):
+        if not roles:
+            raise ValueError("need at least one worker role")
+        self._ctx = mp.get_context(start_method or "spawn")
+        self._start_timeout = start_timeout
+        self._respawn_enabled = respawn
+        self.respawns = 0
+        self._seq = 0
+        self._closed = False
+        self._workers = [_Worker(self._ctx, role) for role in roles]
+        try:
+            for worker in self._workers:
+                worker.wait_ready(start_timeout)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def alive(self) -> list[bool]:
+        """Liveness of each worker (diagnostics/tests)."""
+        return [w.process.is_alive() for w in self._workers]
+
+    def pids(self) -> list[int]:
+        return [w.process.pid for w in self._workers]
+
+    # ------------------------------------------------------------------
+    def broadcast(self, payloads, timeout: float | None = None):
+        """Send one payload per worker; gather one reply per worker.
+
+        Returns ``(replies, timings)`` where ``timings[i]`` is worker
+        *i*'s measured ``(start, end)`` ``perf_counter`` interval for
+        per-shard latency attribution.  A worker found dead is respawned
+        (re-running its role's setup, so it re-attaches shared memory)
+        and its payload re-sent; a worker that *raises* is not retried —
+        the same input would fail again — and the pool raises
+        :class:`DistError` with the worker traceback.
+        """
+        seq = self.dispatch(payloads)
+        return self.gather(seq, payloads, timeout=timeout)
+
+    def dispatch(self, payloads) -> int:
+        """Fan one payload out to each worker; returns the sequence id.
+
+        Pair with :meth:`gather` (or use :meth:`broadcast` for both) —
+        split so callers can trace the fan-out separately from the wait.
+        """
+        if self._closed:
+            raise DistError("pool is closed")
+        if len(payloads) != len(self._workers):
+            raise ValueError(f"{len(payloads)} payloads for "
+                             f"{len(self._workers)} workers")
+        self._seq += 1
+        seq = self._seq
+        for worker, payload in zip(self._workers, payloads):
+            self._send(worker, seq, payload)
+        return seq
+
+    def gather(self, seq: int, payloads, timeout: float | None = None):
+        """Collect every worker's reply to :meth:`dispatch` call ``seq``."""
+        replies = [None] * len(self._workers)
+        timings = [None] * len(self._workers)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for index in range(len(self._workers)):
+            replies[index], timings[index] = self._collect(
+                index, seq, payloads[index], deadline)
+        return replies, timings
+
+    def _send(self, worker: _Worker, seq: int, payload) -> None:
+        if not worker.process.is_alive():
+            worker = self._respawn(self._workers.index(worker))
+        worker.task_q.put(("task", seq, payload))
+
+    def _collect(self, index: int, seq: int, payload, deadline):
+        """Wait for worker ``index``'s reply to ``seq``; heal crashes."""
+        while True:
+            worker = self._workers[index]
+            try:
+                kind, got_seq, detail = worker.result_q.get(timeout=_POLL)
+            except queue_mod.Empty:
+                if not worker.process.is_alive():
+                    # died mid-request: respawn and re-send the same work
+                    worker = self._respawn(index)
+                    worker.task_q.put(("task", seq, payload))
+                elif deadline is not None and time.monotonic() > deadline:
+                    raise DistError(f"shard worker {index} timed out")
+                continue
+            if got_seq != seq:  # stale reply from before a respawn
+                continue
+            if kind == "error":
+                raise DistError(f"shard worker {index} failed:\n{detail}")
+            reply, started, ended = detail
+            return reply, (started, ended)
+
+    def _respawn(self, index: int) -> _Worker:
+        if not self._respawn_enabled:
+            raise DistError(f"shard worker {index} died "
+                            f"(respawn disabled)")
+        old = self._workers[index]
+        old.stop()
+        fresh = _Worker(self._ctx, old.role)
+        fresh.wait_ready(self._start_timeout)
+        self._workers[index] = fresh
+        self.respawns += 1
+        return fresh
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker; idempotent; leaves no orphan processes."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.drain()
+            worker.stop()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

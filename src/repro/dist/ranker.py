@@ -1,0 +1,199 @@
+"""The sharded ranking facade: drop-in for the single-process pass.
+
+:class:`ShardedRanker` owns an :class:`~repro.dist.plan.EntityShardPlan`
+(the entity table in shared memory) and a
+:class:`~repro.dist.pool.ShardWorkerPool` of persistent workers, one per
+contiguous shard.  Per request it ships the model's small
+``ranking_payload`` to every worker, each worker scores its row block
+with the model's :class:`~repro.dist.scorer.ShardScorer` and selects its
+local top-k (global-id offset applied), and the parent merges the
+candidates exactly (:func:`repro.dist.merge.merge_topk`).
+
+Callers treat it interchangeably with the in-process path:
+
+* ``QueryModel.answer_batch(queries, ranker=...)``
+* ``QueryModel.rank_all_entities(queries, ranker=...)``
+* ``ServeRuntime`` via ``ServeConfig(num_shards=K)``
+* the benchmark harness (``--shards``)
+
+and get bitwise-identical answers (see DESIGN.md §7).
+
+Observability: with ``repro.obs`` tracing enabled each request records
+``shard.dispatch`` (payload fan-out), one ``shard.compute`` span per
+shard (the worker-measured interval, so per-shard latency skew is
+visible in traces), and ``shard.merge``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs.trace import Tracer, get_tracer
+from .merge import merge_topk
+from .plan import EntityShardPlan, SharedArraySpec, ShardRange, \
+    dist_available
+from .pool import ShardWorkerPool, WorkerCrash, WorkerRole
+from .scorer import ShardScorer
+
+__all__ = ["RankWorkerRole", "ShardedRanker"]
+
+
+class RankWorkerRole(WorkerRole):
+    """Worker role: score one contiguous shard and return local top-k."""
+
+    def __init__(self, spec: SharedArraySpec, shard: ShardRange,
+                 scorer: ShardScorer):
+        self.spec = spec
+        self.shard = shard
+        self.scorer = scorer
+
+    def setup(self):
+        table = self.spec.attach()
+        # zero-copy view of this worker's row block
+        return table, table.ndarray[self.shard.start:self.shard.stop]
+
+    def handle(self, state, payload):
+        _, points = state
+        request = payload.get("crash")
+        if request == "before":  # crash injection (tests)
+            raise WorkerCrash("injected crash before compute")
+        distances = self.scorer.score(points, payload["payload"])
+        if request == "after":  # crash after compute, before reply
+            raise WorkerCrash("injected crash after compute")
+        mode = payload["mode"]
+        if mode == "all":
+            return {"distances": distances}
+        from ..core.topk import topk_rows
+        local = topk_rows(distances, payload["k"])
+        vals = np.take_along_axis(distances, local, axis=-1)
+        return {"ids": local + self.shard.start, "vals": vals}
+
+    def teardown(self, state) -> None:
+        table, _ = state
+        table.close()
+
+
+class ShardedRanker:
+    """Sharded ``distance_to_all`` + top-k over a worker pool.
+
+    Build via :meth:`for_model` (returns None when the model or the
+    platform does not support sharding); close with :meth:`close` or use
+    as a context manager.  Thread-safety: calls are serialised by the
+    caller (the serving runtime executes batches on its worker pool one
+    model pass at a time under its model lock).
+    """
+
+    def __init__(self, model, num_shards: int,
+                 start_method: str | None = None,
+                 tracer: Tracer | None = None):
+        if num_shards < 2:
+            raise ValueError("sharded execution needs >= 2 shards")
+        spec = model.sharding_spec()
+        if spec is None:
+            raise ValueError(f"model {type(model).__name__} does not "
+                             f"support sharding (no sharding_spec)")
+        points, scorer = spec
+        self.model = model
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.plan = EntityShardPlan(points, num_shards)
+        roles = [RankWorkerRole(*self.plan.shard_spec(i), scorer)
+                 for i in range(self.plan.num_shards)]
+        self.pool = ShardWorkerPool(roles, start_method=start_method)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_model(cls, model, num_shards: int,
+                  start_method: str | None = None,
+                  tracer: Tracer | None = None) -> "ShardedRanker | None":
+        """Ranker, or None when sharding is unsupported here.
+
+        None (rather than an exception) lets callers fall back to the
+        single-process path with one ``if``: models without a
+        ``sharding_spec`` (symbolic baselines), platforms without working
+        shared memory, or fewer than 2 shards requested.
+        """
+        if num_shards < 2 or not dist_available():
+            return None
+        if model.sharding_spec() is None:
+            return None
+        return cls(model, num_shards, start_method=start_method,
+                   tracer=tracer)
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def respawns(self) -> int:
+        """Workers transparently restarted after dying (diagnostics)."""
+        return self.pool.respawns
+
+    # ------------------------------------------------------------------
+    def topk(self, embedding, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Global ``(ids, vals)`` top-k of a query-batch embedding.
+
+        Bitwise identical to ``topk_rows(distance_to_all(embedding), k)``
+        plus the matching distances — both paths order by
+        ``(distance, entity id)``.
+        """
+        replies, timings = self._run({"mode": "topk", "k": int(k)},
+                                     embedding)
+        with self.tracer.span("shard.merge", shards=self.num_shards):
+            return merge_topk([r["ids"] for r in replies],
+                              [r["vals"] for r in replies], k)
+
+    def distances(self, embedding) -> np.ndarray:
+        """Full ``(B, N)`` distance matrix, concatenated from shards.
+
+        Exact equivalent of ``distance_to_all(embedding).data`` — used by
+        the evaluation protocol, which needs every entity's rank, not
+        just the top-k.
+        """
+        replies, _ = self._run({"mode": "all"}, embedding)
+        return np.concatenate([r["distances"] for r in replies], axis=-1)
+
+    def _run(self, request: dict, embedding):
+        tracer = self.tracer
+        payload = self.model.ranking_payload(embedding)
+        if payload is None:
+            raise ValueError("model returned no ranking payload")
+        request = dict(request, payload=payload)
+        payloads = [request] * self.num_shards
+        with tracer.span("shard.dispatch", shards=self.num_shards):
+            seq = self.pool.dispatch(payloads)
+        replies, timings = self.pool.gather(seq, payloads)
+        parent = tracer.current()
+        for index, interval in enumerate(timings):
+            if interval is not None:
+                tracer.record("shard.compute", interval[0], interval[1],
+                              parent=parent, shard=index)
+        return replies, timings
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Republish the entity table after the model's weights changed.
+
+        Write-through into the existing shared segment: attached workers
+        see the new values on their next score call.  The caller must
+        quiesce in-flight requests (the serving runtime holds its model
+        write lock across ``load_state_dict`` + ``refresh``).
+        """
+        spec = self.model.sharding_spec()
+        if spec is None:  # pragma: no cover - spec cannot disappear
+            raise ValueError("model no longer provides a sharding spec")
+        self.plan.update(spec[0])
+
+    def close(self) -> None:
+        """Stop workers and destroy the shared segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.close()
+        self.plan.close()
+
+    def __enter__(self) -> "ShardedRanker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -163,11 +163,26 @@ class Sequential(Module):
 
 
 # Late-bound so the profiler's patching of ``functional`` attributes is
-# visible to MLPs constructed before the profiler was installed.
+# visible to MLPs constructed before the profiler was installed.  Named
+# module-level functions (not lambdas) so modules holding a reference
+# stay picklable — ``repro.dist`` ships model replicas to spawned worker
+# processes.
+def _relu(x: Tensor) -> Tensor:
+    return F.relu(x)
+
+
+def _tanh(x: Tensor) -> Tensor:
+    return F.tanh(x)
+
+
+def _sigmoid(x: Tensor) -> Tensor:
+    return F.sigmoid(x)
+
+
 _ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
-    "relu": lambda x: F.relu(x),
-    "tanh": lambda x: F.tanh(x),
-    "sigmoid": lambda x: F.sigmoid(x),
+    "relu": _relu,
+    "tanh": _tanh,
+    "sigmoid": _sigmoid,
 }
 
 

@@ -69,6 +69,10 @@ class ServeConfig:
     histogram_window: int = 4096
     #: candidate multiple fetched from the LSH index before re-ranking
     lsh_candidate_factor: int = 4
+    #: entity-table shards for ranking; < 2 = in-process (``repro.dist``
+    #: worker processes; silently falls back to in-process when the
+    #: model or platform does not support sharding)
+    num_shards: int = 0
 
 
 @dataclass(frozen=True)
@@ -174,7 +178,14 @@ class ServeRuntime:
         self.config = config or ServeConfig()
         self._clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
+        self._ranker = None
+        if self.config.num_shards >= 2:
+            from ..dist import ShardedRanker
+            self._ranker = ShardedRanker.for_model(
+                model, self.config.num_shards, tracer=self.tracer)
         self.metrics = MetricsRegistry(self.config.histogram_window)
+        self.metrics.gauge("shards").set(
+            self._ranker.num_shards if self._ranker is not None else 0)
         self._latency = self.metrics.histogram("latency_ms")
         self._batch_sizes = self.metrics.histogram("batch_size")
         self._queue_depth = self.metrics.gauge("queue_depth")
@@ -282,6 +293,10 @@ class ServeRuntime:
         try:
             self.model.load_state_dict(state)  # all-or-nothing
             self._embeddings.clear()
+            if self._ranker is not None:
+                # write-through refresh of the shared entity table; no
+                # reader can be mid-ranking while the write lock is held
+                self._ranker.refresh()
             self._model_version += 1
             version = self._model_version
         finally:
@@ -355,6 +370,8 @@ class ServeRuntime:
             self._watcher = None
         self._batcher.close()
         self._pool.shutdown(wait=True)
+        if self._ranker is not None:
+            self._ranker.close()
 
     def __enter__(self) -> "ServeRuntime":
         return self
@@ -402,6 +419,27 @@ class ServeRuntime:
         for request in live:
             self._fallback(request, reason="failure")
 
+    def _rank(self, embedding, k: int) -> tuple[np.ndarray, float]:
+        """Top-k entity ids of a batch embedding — the one ranking path.
+
+        Returns ``(ids, split)``: ``ids`` is ``(B, k)`` and ``split`` the
+        ``perf_counter`` instant between the distance computation and the
+        top-k selection (the serve.distance / serve.rank span boundary;
+        the sharded backend fuses the two, so its split is the end).
+
+        Every serving tier — cache-hit single queries, batched misses,
+        in-process or sharded (``config.num_shards``) — flows through
+        here, so answers agree bitwise *including on ties*: both backends
+        order by ascending ``(distance, entity id)`` (the
+        :func:`repro.core.topk.topk_rows` total order).
+        """
+        if self._ranker is not None:
+            ids, _ = self._ranker.topk(embedding, k)
+            return ids, time.perf_counter()
+        distances = self.model.distance_to_all(embedding).data
+        split = time.perf_counter()
+        return topk_rows(distances, k), split
+
     def _model_answer(self, batch: list[_Pending]) -> None:
         """The happy path: embedding tier, then one batched ranking.
 
@@ -410,29 +448,33 @@ class ServeRuntime:
         request's trace tree stays complete.
         """
         tracer = self.tracer
+        sharded = self._ranker is not None
         with no_grad():
-            rows: list[tuple[_Pending, np.ndarray]] = []
+            answers: list[tuple[_Pending, list[int]]] = []
             misses: list[_Pending] = []
             for request in batch:
                 embedding = self._embeddings.get(request.cache_key)
-                if embedding is not None:
-                    started = time.perf_counter()
-                    row = self.model.distance_to_all(embedding).data[0]
-                    if request.trace_root is not None:
-                        tracer.record("serve.distance", started,
-                                      time.perf_counter(),
-                                      parent=request.trace_root,
-                                      embedding_cached=True)
-                    rows.append((request, row))
-                else:
+                if embedding is None:
                     misses.append(request)
+                    continue
+                started = time.perf_counter()
+                ids, split = self._rank(embedding, request.top_k)
+                ended = time.perf_counter()
+                if request.trace_root is not None:
+                    tracer.record("serve.distance", started, split,
+                                  parent=request.trace_root,
+                                  embedding_cached=True, sharded=sharded)
+                    tracer.record("serve.rank", split, ended,
+                                  parent=request.trace_root)
+                answers.append((request, [int(e) for e in ids[0]]))
             if misses:
                 embed_start = time.perf_counter()
                 embedding = self.model.embed_batch(
                     [r.query for r in misses])
                 embed_end = time.perf_counter()
-                distances = self.model.distance_to_all(embedding).data
-                distance_end = time.perf_counter()
+                ids, split = self._rank(embedding,
+                                        max(r.top_k for r in misses))
+                rank_end = time.perf_counter()
                 for i, request in enumerate(misses):
                     sliced = self.model.slice_embedding(embedding, i)
                     if sliced is not None:
@@ -441,18 +483,18 @@ class ServeRuntime:
                         tracer.record("serve.embed", embed_start, embed_end,
                                       parent=request.trace_root,
                                       batch_size=len(misses))
-                        tracer.record("serve.distance", embed_end,
-                                      distance_end,
+                        tracer.record("serve.distance", embed_end, split,
                                       parent=request.trace_root,
-                                      batch_size=len(misses))
-                    rows.append((request, distances[i]))
-        for request, distance_row in rows:
-            started = time.perf_counter()
-            ids = [int(e) for e in topk_rows(distance_row, request.top_k)]
-            if request.trace_root is not None:
-                tracer.record("serve.rank", started, time.perf_counter(),
-                              parent=request.trace_root)
-            self._resolve(request, ids, source="model")
+                                      batch_size=len(misses),
+                                      sharded=sharded)
+                        tracer.record("serve.rank", split, rank_end,
+                                      parent=request.trace_root)
+                    # a request's top_k prefix of the widest selection is
+                    # exactly its own top-k: the order is total
+                    answers.append((request,
+                                    [int(e) for e in ids[i, :request.top_k]]))
+        for request, entity_ids in answers:
+            self._resolve(request, entity_ids, source="model")
 
     # ------------------------------------------------------------------
     # graceful degradation

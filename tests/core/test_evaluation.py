@@ -57,7 +57,7 @@ class _FakeModel:
     def __init__(self, matrix):
         self.matrix = np.asarray(matrix, dtype=float)
 
-    def rank_all_entities(self, queries, batch_size=64):
+    def rank_all_entities(self, queries, batch_size=64, ranker=None):
         return self.matrix[:len(queries)]
 
 

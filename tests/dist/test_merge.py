@@ -1,0 +1,93 @@
+"""Property: sharded top-k merge == single-process ranking, exactly.
+
+These tests run entirely in-process (no worker pool): they simulate the
+sharded protocol — contiguous partition, per-shard local top-k with
+global-id offsets, :func:`repro.dist.merge_topk` reduction — and compare
+against ranking the full table at once.  Equality is asserted bitwise on
+both ids and values, including ties, for every shard count.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import topk_rows
+from repro.dist import merge_topk, partition_rows
+
+pytestmark = pytest.mark.dist
+
+
+def sharded_topk(distances: np.ndarray, num_shards: int, k: int):
+    """Reference implementation of what the worker pool computes."""
+    ids, vals = [], []
+    for shard in partition_rows(distances.shape[-1], num_shards):
+        block = distances[..., shard.start:shard.stop]
+        local = topk_rows(block, k)
+        ids.append(local + shard.start)
+        vals.append(np.take_along_axis(block, local, axis=-1))
+    return merge_topk(ids, vals, k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(),
+       num_shards=st.integers(min_value=1, max_value=8),
+       batch=st.integers(min_value=1, max_value=3),
+       k=st.integers(min_value=1, max_value=40))
+def test_merge_equals_single_process(data, num_shards, batch, k):
+    n = data.draw(st.integers(min_value=num_shards, max_value=64),
+                  label="num_entities")
+    # coarse grid => frequent exact ties across shard boundaries
+    raw = data.draw(st.lists(
+        st.lists(st.integers(min_value=0, max_value=4),
+                 min_size=n, max_size=n),
+        min_size=batch, max_size=batch), label="distances")
+    distances = np.asarray(raw, dtype=np.float64)
+
+    expect_ids = topk_rows(distances, k)
+    expect_vals = np.take_along_axis(distances, expect_ids, axis=-1)
+    got_ids, got_vals = sharded_topk(distances, num_shards, k)
+
+    assert np.array_equal(got_ids, expect_ids)
+    assert np.array_equal(got_vals, expect_vals)
+
+
+def test_k_larger_than_a_shard():
+    """k can exceed every shard's size; the merge must still be exact."""
+    rng = np.random.default_rng(0)
+    distances = rng.integers(0, 5, size=(4, 40)).astype(np.float64)
+    k = 25  # each of 8 shards holds only 5 entities
+    expect = topk_rows(distances, k)
+    got_ids, got_vals = sharded_topk(distances, 8, k)
+    assert np.array_equal(got_ids, expect)
+    assert np.array_equal(
+        got_vals, np.take_along_axis(distances, expect, axis=-1))
+
+
+def test_all_ties_order_by_entity_id():
+    distances = np.zeros((2, 30))
+    ids, vals = sharded_topk(distances, 4, 10)
+    assert np.array_equal(ids, np.tile(np.arange(10), (2, 1)))
+    assert np.array_equal(vals, np.zeros((2, 10)))
+
+
+def test_merge_rejects_mismatched_inputs():
+    with pytest.raises(ValueError):
+        merge_topk([], [], 5)
+    with pytest.raises(ValueError):
+        merge_topk([np.zeros((1, 2), dtype=np.int64)], [], 5)
+
+
+def test_partition_rows_is_contiguous_and_balanced():
+    for n in (5, 8, 17, 100):
+        for k in range(1, min(n, 9) + 1):
+            ranges = partition_rows(n, k)
+            assert ranges[0].start == 0 and ranges[-1].stop == n
+            for left, right in zip(ranges, ranges[1:]):
+                assert left.stop == right.start
+            sizes = [len(r) for r in ranges]
+            assert max(sizes) - min(sizes) <= 1
+    with pytest.raises(ValueError):
+        partition_rows(3, 4)
+    with pytest.raises(ValueError):
+        partition_rows(3, 0)

@@ -1,0 +1,150 @@
+"""Live worker-pool tests: parity, crash healing, clean teardown.
+
+Everything that spawns processes lives here, against ONE module-scoped
+ranker (spawn start-up is the expensive part), with the teardown/no-leak
+assertions running last against that same pool.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.topk import topk_rows
+from repro.dist import ShardedRanker, merge_topk
+
+from .conftest import requires_shm
+
+pytestmark = [pytest.mark.dist, requires_shm]
+
+
+@pytest.fixture(scope="module")
+def ranker(model):
+    ranker = ShardedRanker.for_model(model, 3)
+    assert ranker is not None
+    yield ranker
+    ranker.close()
+
+
+@pytest.fixture(scope="module")
+def embedding(model, queries):
+    return model.embed_batch(queries)
+
+
+def _expected(model, embedding, k):
+    distances = model.distance_to_all(embedding).data
+    ids = topk_rows(distances, k)
+    return distances, ids, np.take_along_axis(distances, ids, axis=-1)
+
+
+class TestParity:
+    def test_topk_bitwise_equal(self, model, ranker, embedding):
+        _, expect_ids, expect_vals = _expected(model, embedding, 10)
+        ids, vals = ranker.topk(embedding, 10)
+        assert np.array_equal(ids, expect_ids)
+        assert np.array_equal(vals, expect_vals)
+
+    def test_distances_bitwise_equal(self, model, ranker, embedding):
+        expect, _, _ = _expected(model, embedding, 1)
+        assert np.array_equal(ranker.distances(embedding), expect)
+
+    def test_k_wider_than_a_shard(self, model, ranker, embedding):
+        k = 60  # 101 entities / 3 shards = 33-34 rows per shard
+        _, expect_ids, expect_vals = _expected(model, embedding, k)
+        ids, vals = ranker.topk(embedding, k)
+        assert np.array_equal(ids, expect_ids)
+        assert np.array_equal(vals, expect_vals)
+
+    def test_refresh_publishes_new_weights(self, model, ranker, queries):
+        original = model.entity_points.weight.data.copy()
+        try:
+            model.entity_points.weight.data += 0.05
+            ranker.refresh()
+            embedding = model.embed_batch(queries)
+            _, expect_ids, _ = _expected(model, embedding, 10)
+            ids, _ = ranker.topk(embedding, 10)
+            assert np.array_equal(ids, expect_ids)
+        finally:
+            model.entity_points.weight.data[...] = original
+            ranker.refresh()
+
+
+class TestCrashHealing:
+    def test_injected_crash_respawns_and_answers(self, model, ranker,
+                                                 embedding):
+        """A worker dying mid-request is respawned and the answer is
+        still exactly right."""
+        _, expect_ids, _ = _expected(model, embedding, 10)
+        payload = model.ranking_payload(embedding)
+        request = {"mode": "topk", "k": 10, "payload": payload}
+        crashing = [dict(request) for _ in range(ranker.num_shards)]
+        crashing[1]["crash"] = "before"
+        resend = [dict(request) for _ in range(ranker.num_shards)]
+        before = ranker.respawns
+        seq = ranker.pool.dispatch(crashing)
+        replies, _ = ranker.pool.gather(seq, resend)
+        ids, _ = merge_topk([r["ids"] for r in replies],
+                            [r["vals"] for r in replies], 10)
+        assert np.array_equal(ids, expect_ids)
+        assert ranker.respawns == before + 1
+        assert all(ranker.pool.alive())
+
+    def test_crash_after_compute_discards_stale_reply(self, model, ranker,
+                                                      embedding):
+        """Dying *after* computing must not leave a stale reply that a
+        later request could consume."""
+        _, expect_ids, _ = _expected(model, embedding, 5)
+        payload = model.ranking_payload(embedding)
+        request = {"mode": "topk", "k": 5, "payload": payload}
+        crashing = [dict(request) for _ in range(ranker.num_shards)]
+        crashing[0]["crash"] = "after"
+        resend = [dict(request) for _ in range(ranker.num_shards)]
+        seq = ranker.pool.dispatch(crashing)
+        replies, _ = ranker.pool.gather(seq, resend)
+        ids, _ = merge_topk([r["ids"] for r in replies],
+                            [r["vals"] for r in replies], 5)
+        assert np.array_equal(ids, expect_ids)
+        # the pool must still answer correctly on the *next* request too
+        ids2, _ = ranker.topk(embedding, 5)
+        assert np.array_equal(ids2, expect_ids)
+
+    def test_sigkill_mid_flight(self, model, ranker, embedding):
+        """A real SIGKILL (not injection) heals the same way."""
+        _, expect_ids, _ = _expected(model, embedding, 10)
+        victim = ranker.pool.pids()[2]
+        os.kill(victim, signal.SIGKILL)
+        ids, _ = ranker.topk(embedding, 10)
+        assert np.array_equal(ids, expect_ids)
+        assert all(ranker.pool.alive())
+
+
+class TestTeardown:
+    def test_close_leaves_no_workers_or_segments(self, model):
+        ranker = ShardedRanker.for_model(model, 2)
+        assert ranker is not None
+        shm_name = ranker.plan.table.spec.name
+        pids = ranker.pool.pids()
+        ranker.close()
+        ranker.close()  # idempotent
+        for pid in pids:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail(f"worker {pid} still alive after close()")
+        from multiprocessing import shared_memory
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm_name)
+
+    def test_unsupported_model_returns_none(self):
+        class NoShards:
+            def sharding_spec(self):
+                return None
+
+        assert ShardedRanker.for_model(NoShards(), 4) is None

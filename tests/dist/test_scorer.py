@@ -1,0 +1,61 @@
+"""The blocked arc kernel must be *bitwise* equal to the model pass.
+
+This parity is the foundation of the whole subsystem: sharded answers
+are provably identical to single-process answers only because a shard
+worker computes the very same float ops, in the same order, as
+``distance_to_all`` does on those columns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.topk import topk_rows
+from repro.dist import ArcShardScorer, partition_rows
+
+pytestmark = pytest.mark.dist
+
+
+@pytest.fixture(scope="module")
+def embedding(model, queries):
+    return model.embed_batch(queries)
+
+
+def test_scorer_matches_distance_to_all_bitwise(model, embedding):
+    expect = model.distance_to_all(embedding).data
+    points, scorer = model.sharding_spec()
+    assert isinstance(scorer, ArcShardScorer)
+    got = scorer.score(points, model.ranking_payload(embedding))
+    assert np.array_equal(got, expect)
+
+
+@pytest.mark.parametrize("block", [1, 3, 64, 10_000])
+def test_block_size_does_not_change_bits(model, embedding, block):
+    points, scorer = model.sharding_spec()
+    scorer.block = block
+    got = scorer.score(points, model.ranking_payload(embedding))
+    assert np.array_equal(got, model.distance_to_all(embedding).data)
+
+
+def test_row_blocks_match_full_pass_columns(model, embedding):
+    """Scoring a shard's rows == the same columns of the full pass."""
+    expect = model.distance_to_all(embedding).data
+    points, scorer = model.sharding_spec()
+    for shard in partition_rows(points.shape[0], 3):
+        block = scorer.score(points[shard.start:shard.stop],
+                             model.ranking_payload(embedding))
+        assert np.array_equal(block, expect[:, shard.start:shard.stop])
+
+
+def test_scorer_is_picklable(model):
+    import pickle
+    _, scorer = model.sharding_spec()
+    clone = pickle.loads(pickle.dumps(scorer))
+    assert clone.eta == scorer.eta and clone.radius == scorer.radius
+
+
+def test_topk_on_scorer_output_matches_model(model, embedding):
+    expect = topk_rows(model.distance_to_all(embedding).data, 7)
+    points, scorer = model.sharding_spec()
+    got = topk_rows(scorer.score(points, model.ranking_payload(embedding)),
+                    7)
+    assert np.array_equal(got, expect)

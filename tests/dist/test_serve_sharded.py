@@ -1,0 +1,46 @@
+"""ServeRuntime with ``num_shards``: identical answers, live reload."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk import topk_rows
+from repro.serve import ServeConfig, ServeRuntime
+
+from .conftest import requires_shm
+
+pytestmark = [pytest.mark.dist, requires_shm]
+
+
+@pytest.fixture(scope="module")
+def runtime(model, kg):
+    config = ServeConfig(num_shards=2, flush_timeout=0.001)
+    with ServeRuntime(model, kg=kg, config=config) as runtime:
+        yield runtime
+
+
+def test_sharded_runtime_matches_direct_ranking(model, runtime, queries):
+    results = runtime.answer_batch(queries, top_k=8, timeout=30.0)
+    embedding = model.embed_batch(queries)
+    expect = topk_rows(model.distance_to_all(embedding).data, 8)
+    for row, result in zip(expect, results):
+        assert result.source == "model"
+        assert result.entity_ids == [int(e) for e in row]
+
+
+def test_cache_hit_path_agrees_with_batched_path(runtime, queries):
+    first = runtime.answer(queries[0], top_k=8, timeout=30.0)
+    again = runtime.answer(queries[0], top_k=8, timeout=30.0)
+    assert again.entity_ids == first.entity_ids
+
+
+def test_shards_gauge_reports_pool_width(runtime):
+    assert runtime.stats().gauges["shards"] == 2
+
+
+def test_unsupported_model_falls_back_to_in_process(kg):
+    from repro.baselines.cone import ConEModel  # no sharding_spec
+
+    config = ServeConfig(num_shards=2, flush_timeout=0.001)
+    with ServeRuntime(ConEModel(kg), kg=kg, config=config) as runtime:
+        assert runtime._ranker is None
+        assert runtime.stats().gauges["shards"] == 0

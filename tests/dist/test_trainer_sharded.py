@@ -1,0 +1,69 @@
+"""Data-parallel training must match the single-process trainer.
+
+The sharded gradient is the sample-count weighted sum of per-worker
+sub-batch gradients — mathematically equal to the full-batch gradient,
+different only in float summation order, so parameters are compared to a
+tight tolerance rather than bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainConfig
+from repro.core import HalkModel, Trainer
+from repro.dist import ShardedTrainer
+from repro.queries import Entity, GroundedQuery, Projection, QueryWorkload
+
+from .conftest import requires_shm
+
+pytestmark = [pytest.mark.dist, requires_shm]
+
+
+@pytest.fixture(scope="module")
+def workload(kg) -> QueryWorkload:
+    workload = QueryWorkload()
+    for head, rel, _ in list(kg)[:16]:
+        workload.add(GroundedQuery("1p", Projection(rel, Entity(head)),
+                                   frozenset(kg.targets(head, rel)),
+                                   frozenset()))
+    return workload
+
+
+def _model(kg):
+    return HalkModel(kg, ModelConfig(embedding_dim=6, hidden_dim=12,
+                                     seed=3))
+
+
+def _config(epochs=1):
+    return TrainConfig(epochs=epochs, batch_size=8, num_negatives=4,
+                       seed=5, log_every=0)
+
+
+def test_two_worker_training_matches_single_process(kg, workload):
+    single = _model(kg)
+    history = Trainer(single, workload, _config()).train()
+    sharded_model = _model(kg)
+    trainer = ShardedTrainer(sharded_model, workload, _config(),
+                             num_workers=2)
+    sharded_history = trainer.train()
+
+    np.testing.assert_allclose(sharded_history.epoch_losses,
+                               history.epoch_losses, rtol=1e-12)
+    for (name, p1), (_, p2) in zip(single.named_parameters(),
+                                   sharded_model.named_parameters()):
+        np.testing.assert_allclose(p2.data, p1.data, atol=1e-10,
+                                   err_msg=name)
+
+
+def test_train_releases_workers_and_segments(kg, workload):
+    trainer = ShardedTrainer(_model(kg), workload, _config(),
+                             num_workers=2)
+    trainer.train()
+    # train() closes the pool on exit; closing again must be a no-op
+    assert trainer._pool is None
+    trainer.close()
+
+
+def test_rejects_silly_worker_counts(kg, workload):
+    with pytest.raises(ValueError):
+        ShardedTrainer(_model(kg), workload, _config(), num_workers=0)
