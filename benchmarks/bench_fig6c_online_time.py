@@ -26,10 +26,12 @@ from repro.baselines import UnsupportedOperatorError
 from repro.matching import GFinder
 from repro.queries import LARGE_STRUCTURES, QuerySampler, get_structure
 
+import record
 from common import DATASETS
 
 EMBEDDING_METHODS = ("ConE", "NewLook", "MLPMix", "HaLk")
 QUERIES_PER_STRUCTURE = 20
+BENCH_FILE = record.BENCH_DIR / "BENCH_online.json"
 
 
 def _queries(context, dataset):
@@ -101,12 +103,20 @@ def _sharded_time(model, supported, num_shards):
 
 
 @pytest.mark.parametrize("dataset", DATASETS)
-def test_fig6c_online_time(benchmark, context, dataset, num_shards):
+def test_fig6c_online_time(benchmark, context, dataset, num_shards,
+                           bench_record):
     """Regenerate one dataset group of Fig. 6c."""
     queries = _queries(context, dataset)
     times, stages = benchmark.pedantic(
         _online_times, args=(context, dataset, queries),
         kwargs={"num_shards": num_shards}, rounds=1, iterations=1)
+    if bench_record:
+        # ms/query: lower is better for every column in this figure
+        record.record(BENCH_FILE,
+                      {f"{dataset}_{method}_ms": value
+                       for method, value in times.items()},
+                      higher_is_better=False)
+        print(f"\nrecorded to {BENCH_FILE.name}")
     print()
     print(f"Fig. 6c ({dataset}): online time per query (ms)")
     for method, value in times.items():

@@ -35,10 +35,12 @@ from repro import obs
 from repro.queries import QuerySampler, get_structure
 from repro.serve import ServeConfig, ServeRuntime, format_snapshot
 
+import record
 from common import shared_context
 
 STRUCTURES = ("2p", "2i", "3i", "pi", "2ipp", "3ippd")
 QUERIES_PER_STRUCTURE = 20
+BENCH_FILE = record.BENCH_DIR / "BENCH_serve.json"
 
 
 def _workload(context):
@@ -87,11 +89,18 @@ def _measure(context):
             "stages": stages, "queries": len(queries)}
 
 
-def test_bench_serve_throughput(benchmark):
+def test_bench_serve_throughput(benchmark, bench_record):
     """Batched serving must be ≥ 3× the sequential answer loop."""
     context = shared_context()
     out = benchmark.pedantic(_measure, args=(context,),
                              rounds=1, iterations=1)
+    if bench_record:
+        record.record(BENCH_FILE,
+                      {"sequential_qps": out["sequential"],
+                       "batched_qps": out["batched"],
+                       "cached_qps": out["cached"]},
+                      higher_is_better=True)
+        print(f"\nrecorded to {BENCH_FILE.name}")
     print()
     print(f"serving throughput, FB237 quick workload "
           f"({out['queries']} queries):")
@@ -164,7 +173,8 @@ def _measure_sharded(num_shards, rounds=1, top_k=10):
             "queries": len(queries)}
 
 
-def test_bench_sharded_ranking_throughput(benchmark, num_shards):
+def test_bench_sharded_ranking_throughput(benchmark, num_shards,
+                                          bench_record):
     """--shards N ranking must be ≥ 2× the single-process pass."""
     from repro.dist import dist_available
 
@@ -174,6 +184,11 @@ def test_bench_sharded_ranking_throughput(benchmark, num_shards):
         pytest.skip("shared memory unavailable on this platform")
     out = benchmark.pedantic(_measure_sharded, args=(num_shards,),
                              rounds=1, iterations=1)
+    if bench_record:
+        record.record(BENCH_FILE,
+                      {f"sharded{num_shards}_qps": out["sharded"]},
+                      higher_is_better=True)
+        print(f"\nrecorded to {BENCH_FILE.name}")
     print()
     print(f"ranking throughput, synthetic KG (30k entities, "
           f"{out['queries']}-query batch):")

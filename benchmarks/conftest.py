@@ -19,6 +19,11 @@ def pytest_addoption(parser):
         "--shards", type=int, default=4, metavar="N",
         help="worker count for the sharded-execution benchmark rows "
              "(repro.dist); < 2 skips the sharded measurements")
+    parser.addoption(
+        "--bench-record", action="store_true",
+        help="append this run's results to the BENCH_*.json trajectory "
+             "files in the repository root (off by default so ordinary "
+             "test runs never touch the recorded history)")
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +35,10 @@ def context():
 @pytest.fixture(scope="session")
 def num_shards(request) -> int:
     return request.config.getoption("--shards")
+
+
+@pytest.fixture(scope="session")
+def bench_record(request) -> bool:
+    """True when ``--bench-record`` was passed; benchmarks that track a
+    trajectory call :func:`record.record` only under this flag."""
+    return request.config.getoption("--bench-record")

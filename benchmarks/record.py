@@ -1,0 +1,194 @@
+"""Benchmark trajectory recording and the regression gate.
+
+Benchmarks that opt in (``pytest benchmarks/... --bench-record``) append
+keyed results to a flat JSON trajectory file in the repository root —
+``BENCH_serve.json`` for the serving-throughput numbers,
+``BENCH_online.json`` for the Fig. 6c online-time numbers.  Each entry
+is::
+
+    {"commit": "a914b88", "timestamp": "2026-08-06T12:00:00+00:00",
+     "metric": "batched_qps", "value": 8123.4, "higher_is_better": true}
+
+so the file doubles as a per-commit performance history: nothing is ever
+overwritten, and plotting a metric over time is a one-liner.
+
+``python benchmarks/record.py --check-regression BENCH_serve.json``
+compares the **latest** entry of every metric against the **best**
+earlier entry and exits nonzero when any metric degraded by more than
+``--threshold`` (default 20%).  "Degraded" respects the entry's
+``higher_is_better`` flag, so throughput (q/s, higher better) and
+latency (ms/query, lower better) trajectories live side by side.
+
+The gate compares against the best rather than the previous entry so a
+slow regression over many commits cannot ratchet the baseline down with
+it — each step may be under the threshold, but the cumulative drift from
+the best recorded run is what the check measures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+__all__ = ["record", "load_entries", "check_regression",
+           "RegressionError", "BENCH_DIR"]
+
+#: Trajectory files live in the repository root, next to the other
+#: capitalised status files (README.md, ROADMAP.md, ...).
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent
+
+DEFAULT_THRESHOLD = 0.20
+
+
+class RegressionError(Exception):
+    """A tracked metric degraded beyond the allowed threshold."""
+
+
+def _current_commit() -> str:
+    """Short hash of HEAD; ``unknown`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=BENCH_DIR,
+            capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def load_entries(path) -> list[dict]:
+    """The trajectory as a list of entry dicts ([] for a missing file)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: expected a JSON list of entries")
+    return entries
+
+
+def record(path, metrics: dict[str, float], *,
+           higher_is_better: bool | dict[str, bool] = True,
+           commit: str | None = None,
+           timestamp: str | None = None) -> list[dict]:
+    """Append one entry per metric to the trajectory at ``path``.
+
+    ``metrics`` maps metric name to value; ``higher_is_better`` applies
+    to all of them, or per-metric via a dict.  Returns the appended
+    entries.  The write is atomic (tmp file + rename) so a crashed
+    benchmark run cannot truncate the history.
+    """
+    path = pathlib.Path(path)
+    commit = commit or _current_commit()
+    timestamp = timestamp or datetime.datetime.now(
+        datetime.timezone.utc).isoformat(timespec="seconds")
+    entries = load_entries(path)
+    appended = []
+    for metric, value in metrics.items():
+        hib = higher_is_better if isinstance(higher_is_better, bool) \
+            else bool(higher_is_better.get(metric, True))
+        appended.append({"commit": commit, "timestamp": timestamp,
+                         "metric": metric, "value": float(value),
+                         "higher_is_better": hib})
+    entries.extend(appended)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+    tmp.replace(path)
+    return appended
+
+
+def check_regression(path, threshold: float = DEFAULT_THRESHOLD) -> dict:
+    """Compare each metric's latest entry against its best earlier one.
+
+    Returns ``{metric: {"latest": v, "best": b, "change": fraction}}``
+    for every metric with at least two entries; raises
+    :class:`RegressionError` if any metric degraded more than
+    ``threshold`` (a fraction, e.g. ``0.2`` = 20%).
+    """
+    entries = load_entries(path)
+    by_metric: dict[str, list[dict]] = {}
+    for entry in entries:
+        by_metric.setdefault(entry["metric"], []).append(entry)
+
+    report: dict[str, dict] = {}
+    failures: list[str] = []
+    for metric, series in by_metric.items():
+        if len(series) < 2:
+            continue
+        latest = series[-1]
+        earlier = series[:-1]
+        hib = bool(latest.get("higher_is_better", True))
+        values = [float(e["value"]) for e in earlier]
+        best = max(values) if hib else min(values)
+        if best == 0:
+            continue
+        # positive change = degradation, in either direction convention
+        if hib:
+            change = (best - float(latest["value"])) / best
+        else:
+            change = (float(latest["value"]) - best) / best
+        report[metric] = {"latest": float(latest["value"]), "best": best,
+                          "change": change, "higher_is_better": hib}
+        if change > threshold:
+            direction = "dropped" if hib else "rose"
+            failures.append(
+                f"{metric}: {direction} {100 * change:.1f}% "
+                f"(latest {latest['value']:.4g} vs best {best:.4g}, "
+                f"threshold {100 * threshold:.0f}%)")
+    if failures:
+        raise RegressionError(f"{pathlib.Path(path).name}: "
+                              + "; ".join(failures))
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark trajectory tool: inspect BENCH_*.json "
+                    "histories and gate on regressions")
+    parser.add_argument("paths", nargs="+", metavar="BENCH.json",
+                        help="trajectory file(s) to check or show")
+    parser.add_argument("--check-regression", action="store_true",
+                        help="exit nonzero if any metric's latest entry "
+                             "degraded more than --threshold vs its best "
+                             "earlier entry")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed fractional degradation "
+                             "(default 0.2 = 20%%)")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.paths:
+        entries = load_entries(path)
+        name = pathlib.Path(path).name
+        if not entries:
+            print(f"{name}: no entries")
+            if args.check_regression:
+                status = 1
+            continue
+        if args.check_regression:
+            try:
+                report = check_regression(path, threshold=args.threshold)
+            except RegressionError as exc:
+                print(f"REGRESSION: {exc}")
+                status = 1
+                continue
+            for metric, row in sorted(report.items()):
+                print(f"{name}: {metric}: latest {row['latest']:.4g} "
+                      f"vs best {row['best']:.4g} "
+                      f"({100 * row['change']:+.1f}% degradation)")
+            if not report:
+                print(f"{name}: fewer than two entries per metric; "
+                      f"nothing to compare")
+        else:
+            for entry in entries:
+                print(f"{name}: {entry['commit']} {entry['timestamp']} "
+                      f"{entry['metric']} = {entry['value']:.4g}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli evaluate --dataset FB237 --method HaLk
     python -m repro.cli answer --dataset FB237 --sparql "SELECT ?x WHERE { e12 rotation_0 ?x }"
     python -m repro.cli serve --dataset FB237 --train-if-missing --stats
+    python -m repro.cli serve --dataset FB237 --http-port 9105 --hold
+    python -m repro.cli stats 127.0.0.1:9105
     python -m repro.cli trace --dataset FB237 --structure 3p --out trace.json
     python -m repro.cli train --dataset FB237 --telemetry train.jsonl
 
@@ -14,7 +16,10 @@ Usage (after ``pip install -e .``)::
 ``./models``); ``evaluate``, ``answer``, ``serve`` and ``trace`` reload
 them.  ``serve`` drives the batched/cached runtime in ``repro.serve``
 over a workload and reports throughput, cache hit rates, and latency
-percentiles.  ``trace`` answers one query with ``repro.obs`` tracing
+percentiles; with ``--http-port`` it also exposes ``/metrics``
+(Prometheus text format), ``/healthz``, and ``/statusz``, and ``stats``
+pretty-prints a running server's ``/statusz`` from another terminal.
+``trace`` answers one query with ``repro.obs`` tracing
 enabled and writes a Chrome trace-event file; ``train --telemetry``
 streams per-epoch training telemetry as JSON Lines.
 """
@@ -273,9 +278,15 @@ def cmd_serve(args) -> int:
                          num_workers=args.workers,
                          answer_ttl=args.answer_ttl,
                          default_deadline=args.deadline,
-                         num_shards=getattr(args, "shards", 0))
+                         num_shards=getattr(args, "shards", 0),
+                         http_port=args.http_port,
+                         http_host=args.http_host)
     with ServeRuntime(model, kg=splits.train, index=index,
                       config=config) as runtime:
+        if runtime.http_server is not None:
+            url = runtime.http_server.url
+            print(f"telemetry endpoints: {url}/metrics  {url}/healthz  "
+                  f"{url}/statusz")
         if args.watch:
             runtime.watch(weights, interval=args.watch_interval,
                           expect={"dataset": args.dataset,
@@ -308,6 +319,42 @@ def cmd_serve(args) -> int:
         print(f"sample answer [{sample.source}]: {', '.join(names)}")
         if args.stats:
             print(format_snapshot(client.stats()))
+        if args.hold and runtime.http_server is not None:
+            print("holding for scrapes; Ctrl-C to exit")
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                print()
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Fetch a running server's ``/statusz`` and pretty-print it."""
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from .serve import format_snapshot, snapshot_from_json
+
+    target = args.target if "://" in args.target \
+        else f"http://{args.target}"
+    try:
+        with urlopen(f"{target.rstrip('/')}/statusz",
+                     timeout=args.timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (URLError, OSError) as exc:
+        raise SystemExit(f"cannot reach {target}/statusz: {exc}") from exc
+    health = payload.get("health")
+    if health is not None:
+        state = "ok" if health.get("ok") else "UNHEALTHY"
+        detail = " ".join(f"{k}={v}" for k, v in sorted(health.items())
+                          if k != "ok")
+        print(f"health: {state}  {detail}")
+    version = payload.get("model_version")
+    if version is not None:
+        print(f"model_version: {version}")
+    print(format_snapshot(snapshot_from_json(payload)))
     return 0
 
 
@@ -341,7 +388,8 @@ def cmd_trace(args) -> int:
                                        seed=args.seed)
                 query = sampler.sample(
                     get_structure(args.structure)).query
-                config = ServeConfig(num_workers=args.workers)
+                config = ServeConfig(num_workers=args.workers,
+                                     num_shards=getattr(args, "shards", 0))
                 with ServeRuntime(model, kg=splits.train,
                                   config=config) as runtime:
                     ids = runtime.answer(query, top_k=args.top_k).entity_ids
@@ -468,8 +516,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="train a quick model first when none is saved")
     p.add_argument("--train-epochs", type=int, default=30)
     p.add_argument("--train-queries", type=int, default=50)
+    p.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                   help="expose /metrics (Prometheus text format), "
+                        "/healthz, and /statusz on this port (0 = pick "
+                        "an ephemeral port)")
+    p.add_argument("--http-host", default="127.0.0.1")
+    p.add_argument("--hold", action="store_true",
+                   help="after the demo workload, keep the runtime (and "
+                        "its HTTP endpoints) alive until Ctrl-C")
     shards(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("stats",
+                       help="fetch and pretty-print /statusz from a "
+                            "running `serve --http-port` process")
+    p.add_argument("target", metavar="HOST:PORT",
+                   help="address of the telemetry endpoint, e.g. "
+                        "127.0.0.1:9105")
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("trace",
                        help="trace one query through the stack and export "
@@ -492,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="train a quick model first when none is saved")
     p.add_argument("--train-epochs", type=int, default=30)
     p.add_argument("--train-queries", type=int, default=50)
+    shards(p)
     p.set_defaults(func=cmd_trace)
     return parser
 

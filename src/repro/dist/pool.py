@@ -20,6 +20,20 @@ the caller sees a slower answer, never a wrong or missing one.  Replies
 with stale sequence numbers (from a worker that died *after* computing)
 are discarded.
 
+Telemetry crosses the process boundary by piggybacking on replies: every
+worker installs its own :class:`repro.obs.Tracer` and a delta-tracking
+:class:`repro.obs.MetricsRegistry` as its process defaults, wraps each
+``handle()`` in a ``worker.handle`` span (when tracing was enabled in
+the parent at dispatch time), and ships the finished spans plus the
+metric increments since its previous reply alongside the result — no
+side channel, and the request sequence numbers give ordering for free.
+The parent merges the deltas into :attr:`ShardWorkerPool.metrics` and
+re-parents the spans (:meth:`repro.obs.Tracer.adopt`) under the span
+that was current at ``dispatch()``, so a Chrome trace shows per-worker
+swimlanes nested inside the dispatching request.  Telemetry riding on a
+*stale* reply is discarded with the reply — a respawned worker's
+re-computation is merged exactly once, never double-counted.
+
 Shutdown is graceful-then-firm: a stop message, a bounded ``join``, then
 ``terminate``/``kill`` for stragglers, and queue teardown — tests assert
 no orphan processes and no leaked segments after :meth:`close`.
@@ -32,6 +46,11 @@ import os
 import queue as queue_mod
 import time
 import traceback
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Span, Tracer
 
 __all__ = ["WorkerRole", "ShardWorkerPool", "WorkerCrash", "DistError"]
 
@@ -70,7 +89,17 @@ class WorkerRole:
 
 
 def _worker_main(role: WorkerRole, task_q, result_q) -> None:
-    """Worker process body: setup, serve requests, teardown."""
+    """Worker process body: setup, serve requests, teardown.
+
+    Installs a fresh process-default tracer and delta-tracking metrics
+    registry (correct pid/baselines whether spawned or forked); role
+    ``handle()`` implementations record into them via ``get_tracer()`` /
+    ``get_registry()`` and the results ride back on each reply.
+    """
+    tracer = Tracer()
+    registry = MetricsRegistry(track_deltas=True)
+    obs_trace.set_tracer(tracer)
+    obs_metrics.set_registry(registry)
     try:
         state = role.setup()
     except BaseException:
@@ -84,19 +113,45 @@ def _worker_main(role: WorkerRole, task_q, result_q) -> None:
             if kind == "stop":
                 break
             if kind == "task":
-                _, seq, payload = message
+                _, seq, payload, traced = message
                 started = time.perf_counter()
                 try:
-                    reply = role.handle(state, payload)
+                    if traced:
+                        with obs_trace.enabled():
+                            with tracer.span("worker.handle", seq=seq):
+                                reply = role.handle(state, payload)
+                    else:
+                        reply = role.handle(state, payload)
                 except WorkerCrash:  # crash injection: die like SIGKILL
                     os._exit(1)
                 except BaseException:
                     result_q.put(("error", seq, traceback.format_exc()))
                 else:
+                    ended = time.perf_counter()
+                    telemetry = _collect_telemetry(tracer, registry,
+                                                   traced)
                     result_q.put(("ok", seq,
-                                  (reply, started, time.perf_counter())))
+                                  (reply, started, ended, telemetry)))
     finally:
         role.teardown(state)
+
+
+def _collect_telemetry(tracer: Tracer, registry: MetricsRegistry,
+                       traced: bool):
+    """The piggyback: finished spans (if traced) + metric deltas.
+
+    Returns None when there is nothing to ship, so the untraced,
+    metric-free fast path pickles one extra None per reply and nothing
+    else.
+    """
+    spans: list[Span] = []
+    if traced:
+        spans = tracer.finished()
+        tracer.reset()
+    delta = registry.flush_delta()
+    if not spans and not delta:
+        return None
+    return spans, delta
 
 
 class _Worker:
@@ -168,18 +223,32 @@ class ShardWorkerPool:
     respawn:
         Whether a dead worker is transparently restarted (on by
         default; crash-injection tests rely on it).
+    tracer:
+        Where worker-side spans are adopted (default: the process-wide
+        tracer).
+    metrics:
+        Registry worker metric deltas merge into.  Pass the owner's
+        registry (the serving runtime does) to surface per-shard
+        counters next to the serving metrics; defaults to a pool-local
+        registry exposed as :attr:`metrics`.
     """
 
     def __init__(self, roles: list[WorkerRole],
                  start_method: str | None = None,
-                 start_timeout: float = 60.0, respawn: bool = True):
+                 start_timeout: float = 60.0, respawn: bool = True,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None):
         if not roles:
             raise ValueError("need at least one worker role")
         self._ctx = mp.get_context(start_method or "spawn")
         self._start_timeout = start_timeout
         self._respawn_enabled = respawn
+        self._tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.respawns = 0
         self._seq = 0
+        #: seq -> (span current at dispatch, tracing-enabled flag)
+        self._trace_ctx: dict[int, tuple[Span | None, bool]] = {}
         self._closed = False
         self._workers = [_Worker(self._ctx, role) for role in roles]
         try:
@@ -188,6 +257,11 @@ class ShardWorkerPool:
         except BaseException:
             self.close()
             raise
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None \
+            else obs_trace.get_tracer()
 
     # ------------------------------------------------------------------
     @property
@@ -229,6 +303,13 @@ class ShardWorkerPool:
                              f"{len(self._workers)} workers")
         self._seq += 1
         seq = self._seq
+        # capture the telemetry context once per fan-out: worker spans
+        # re-parent under whatever span is current *here* (e.g. the
+        # ranker's shard.dispatch), and the enabled flag rides with every
+        # task so workers never trace work nobody will look at
+        traced = obs_trace.is_enabled()
+        self._trace_ctx[seq] = \
+            (self.tracer.current() if traced else None, traced)
         for worker, payload in zip(self._workers, payloads):
             self._send(worker, seq, payload)
         return seq
@@ -238,15 +319,21 @@ class ShardWorkerPool:
         replies = [None] * len(self._workers)
         timings = [None] * len(self._workers)
         deadline = None if timeout is None else time.monotonic() + timeout
-        for index in range(len(self._workers)):
-            replies[index], timings[index] = self._collect(
-                index, seq, payloads[index], deadline)
+        try:
+            for index in range(len(self._workers)):
+                replies[index], timings[index] = self._collect(
+                    index, seq, payloads[index], deadline)
+        finally:
+            self._trace_ctx.pop(seq, None)
         return replies, timings
 
     def _send(self, worker: _Worker, seq: int, payload) -> None:
         if not worker.process.is_alive():
             worker = self._respawn(self._workers.index(worker))
-        worker.task_q.put(("task", seq, payload))
+        worker.task_q.put(("task", seq, payload, self._traced(seq)))
+
+    def _traced(self, seq: int) -> bool:
+        return self._trace_ctx.get(seq, (None, False))[1]
 
     def _collect(self, index: int, seq: int, payload, deadline):
         """Wait for worker ``index``'s reply to ``seq``; heal crashes."""
@@ -258,16 +345,32 @@ class ShardWorkerPool:
                 if not worker.process.is_alive():
                     # died mid-request: respawn and re-send the same work
                     worker = self._respawn(index)
-                    worker.task_q.put(("task", seq, payload))
+                    worker.task_q.put(("task", seq, payload,
+                                       self._traced(seq)))
                 elif deadline is not None and time.monotonic() > deadline:
                     raise DistError(f"shard worker {index} timed out")
                 continue
-            if got_seq != seq:  # stale reply from before a respawn
+            if got_seq != seq:
+                # stale reply from before a respawn: the result AND its
+                # piggybacked telemetry are dropped together, so a
+                # superseded computation is never merged (no
+                # double-counted deltas, no phantom spans)
                 continue
             if kind == "error":
                 raise DistError(f"shard worker {index} failed:\n{detail}")
-            reply, started, ended = detail
+            reply, started, ended, telemetry = detail
+            if telemetry is not None:
+                self._merge_telemetry(seq, telemetry)
             return reply, (started, ended)
+
+    def _merge_telemetry(self, seq: int, telemetry) -> None:
+        """Fold one reply's piggyback into the parent registry/tracer."""
+        spans, delta = telemetry
+        if delta:
+            self.metrics.merge(delta)
+        if spans:
+            parent, _ = self._trace_ctx.get(seq, (None, False))
+            self.tracer.adopt(spans, parent=parent)
 
     def _respawn(self, index: int) -> _Worker:
         if not self._respawn_enabled:
@@ -279,6 +382,7 @@ class ShardWorkerPool:
         fresh.wait_ready(self._start_timeout)
         self._workers[index] = fresh
         self.respawns += 1
+        self.metrics.counter("worker_respawns", worker=index).inc()
         return fresh
 
     # ------------------------------------------------------------------

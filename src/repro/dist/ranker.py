@@ -19,15 +19,24 @@ Callers treat it interchangeably with the in-process path:
 and get bitwise-identical answers (see DESIGN.md §7).
 
 Observability: with ``repro.obs`` tracing enabled each request records
-``shard.dispatch`` (payload fan-out), one ``shard.compute`` span per
-shard (the worker-measured interval, so per-shard latency skew is
-visible in traces), and ``shard.merge``.
+``shard.dispatch`` (payload fan-out), ``shard.gather`` (the wait for
+replies), one ``shard.compute`` span per shard (the worker-measured
+interval, so per-shard latency skew is visible in traces), and
+``shard.merge``.  Worker processes additionally trace their own
+``worker.handle`` → ``worker.score`` / ``worker.topk`` trees; the pool
+piggybacks those spans on the replies and re-parents them under
+``shard.dispatch``, so ``export_chrome_trace`` renders one swimlane per
+worker process.  Worker-side metrics (``rank_requests{shard=k}``,
+``rank_block_ms{shard=k}``) merge into :attr:`ShardedRanker.metrics`.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.trace import Tracer, get_tracer
 from .merge import merge_topk
 from .plan import EntityShardPlan, SharedArraySpec, ShardRange, \
@@ -42,10 +51,11 @@ class RankWorkerRole(WorkerRole):
     """Worker role: score one contiguous shard and return local top-k."""
 
     def __init__(self, spec: SharedArraySpec, shard: ShardRange,
-                 scorer: ShardScorer):
+                 scorer: ShardScorer, index: int = 0):
         self.spec = spec
         self.shard = shard
         self.scorer = scorer
+        self.index = index
 
     def setup(self):
         table = self.spec.attach()
@@ -54,18 +64,27 @@ class RankWorkerRole(WorkerRole):
 
     def handle(self, state, payload):
         _, points = state
+        tracer = get_tracer()
+        registry = get_registry()
         request = payload.get("crash")
         if request == "before":  # crash injection (tests)
             raise WorkerCrash("injected crash before compute")
-        distances = self.scorer.score(points, payload["payload"])
+        registry.counter("rank_requests", shard=self.index).inc()
+        started = time.perf_counter()
+        with tracer.span("worker.score", shard=self.index,
+                         rows=self.shard.stop - self.shard.start):
+            distances = self.scorer.score(points, payload["payload"])
+        registry.histogram("rank_block_ms", shard=self.index).observe(
+            1000.0 * (time.perf_counter() - started))
         if request == "after":  # crash after compute, before reply
             raise WorkerCrash("injected crash after compute")
         mode = payload["mode"]
         if mode == "all":
             return {"distances": distances}
         from ..core.topk import topk_rows
-        local = topk_rows(distances, payload["k"])
-        vals = np.take_along_axis(distances, local, axis=-1)
+        with tracer.span("worker.topk", shard=self.index):
+            local = topk_rows(distances, payload["k"])
+            vals = np.take_along_axis(distances, local, axis=-1)
         return {"ids": local + self.shard.start, "vals": vals}
 
     def teardown(self, state) -> None:
@@ -85,7 +104,8 @@ class ShardedRanker:
 
     def __init__(self, model, num_shards: int,
                  start_method: str | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None):
         if num_shards < 2:
             raise ValueError("sharded execution needs >= 2 shards")
         spec = model.sharding_spec()
@@ -96,16 +116,24 @@ class ShardedRanker:
         self.model = model
         self.tracer = tracer if tracer is not None else get_tracer()
         self.plan = EntityShardPlan(points, num_shards)
-        roles = [RankWorkerRole(*self.plan.shard_spec(i), scorer)
+        roles = [RankWorkerRole(*self.plan.shard_spec(i), scorer, index=i)
                  for i in range(self.plan.num_shards)]
-        self.pool = ShardWorkerPool(roles, start_method=start_method)
+        self.pool = ShardWorkerPool(roles, start_method=start_method,
+                                    tracer=self.tracer, metrics=metrics)
         self._closed = False
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Registry holding per-shard worker metrics (pool-merged)."""
+        return self.pool.metrics
 
     # ------------------------------------------------------------------
     @classmethod
     def for_model(cls, model, num_shards: int,
                   start_method: str | None = None,
-                  tracer: Tracer | None = None) -> "ShardedRanker | None":
+                  tracer: Tracer | None = None,
+                  metrics: MetricsRegistry | None = None
+                  ) -> "ShardedRanker | None":
         """Ranker, or None when sharding is unsupported here.
 
         None (rather than an exception) lets callers fall back to the
@@ -118,7 +146,7 @@ class ShardedRanker:
         if model.sharding_spec() is None:
             return None
         return cls(model, num_shards, start_method=start_method,
-                   tracer=tracer)
+                   tracer=tracer, metrics=metrics)
 
     @property
     def num_shards(self) -> int:
@@ -162,7 +190,8 @@ class ShardedRanker:
         payloads = [request] * self.num_shards
         with tracer.span("shard.dispatch", shards=self.num_shards):
             seq = self.pool.dispatch(payloads)
-        replies, timings = self.pool.gather(seq, payloads)
+        with tracer.span("shard.gather", shards=self.num_shards):
+            replies, timings = self.pool.gather(seq, payloads)
         parent = tracer.current()
         for index, interval in enumerate(timings):
             if interval is not None:

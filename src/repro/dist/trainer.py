@@ -31,6 +31,13 @@ Numerics: sharded training is deterministic for a fixed K (fixed
 reduction order) and mathematically equal to single-process training,
 but not bit-for-bit equal across different K — float summation order
 differs.  Tests pin the tolerance.
+
+Observability: with ``repro.obs`` tracing enabled, each worker's
+forward/backward pass appears as a ``worker.handle`` →
+``worker.forward`` / ``worker.backward`` span tree in the parent trace
+(piggybacked on replies and re-parented by the pool — see
+:mod:`repro.dist.pool`), and per-worker counters
+(``train_worker_steps{worker=k}``) merge into the pool registry.
 """
 
 from __future__ import annotations
@@ -38,6 +45,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.trainer import Trainer, batch_loss
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .plan import SharedArray, SharedArraySpec, partition_rows
 from .pool import ShardWorkerPool, WorkerRole
 
@@ -89,11 +98,17 @@ class TrainWorkerRole(WorkerRole):
         sub = payload["batch"]
         if sub is None:  # more workers than batch rows this step
             return {"loss": 0.0, "count": 0}
+        tracer = get_tracer()
+        get_registry().counter("train_worker_steps",
+                               worker=self.row).inc()
         queries, positives, negatives = sub
         self.model.zero_grad()
-        loss = batch_loss(self.model, queries, positives, negatives,
-                          **self.loss_kwargs)
-        loss.backward()
+        with tracer.span("worker.forward", worker=self.row,
+                         rows=len(queries)):
+            loss = batch_loss(self.model, queries, positives, negatives,
+                              **self.loss_kwargs)
+        with tracer.span("worker.backward", worker=self.row):
+            loss.backward()
         for name, param in self.model.named_parameters():
             if param.grad is not None:
                 start, size = self._span(name)
@@ -231,7 +246,9 @@ class ShardedTrainer(Trainer):
 
         for optimizer in self.optimizers:
             optimizer.zero_grad()
-        replies, _ = self._pool.broadcast(payloads)
+        with get_tracer().span("train.broadcast",
+                               workers=self.num_workers):
+            replies, _ = self._pool.broadcast(payloads)
 
         total = float(len(batch))
         weights = np.array([c / total for c in counts])

@@ -7,6 +7,9 @@ The observability layer used by every tier of the stack:
 * :mod:`repro.obs.profiler` — opt-in per-op autograd profiling of
   ``repro.nn`` (forward/backward time, allocations, per-module cost);
 * :mod:`repro.obs.telemetry` — the trainer's callback/event API;
+* :mod:`repro.obs.metrics` — the canonical metrics registry (counters,
+  gauges, histograms; labels, cross-process deltas + merge) shared by
+  the serving runtime and the shard workers;
 * :mod:`repro.obs.export` — Chrome trace-event and JSON-Lines writers.
 
 All tracing instrumentation is compiled down to near-no-ops unless the
@@ -17,6 +20,11 @@ module-level flag is switched on with :func:`enable` (or scoped with
 
 from .export import (JsonlWriter, chrome_trace_events, format_span_tree,
                      span_to_dict, write_chrome_trace)
+from .metrics import (Counter, Gauge, Histogram, HistogramStats,
+                      MetricsDelta, MetricsRegistry, PeriodicReporter,
+                      StatsSnapshot, format_snapshot, get_registry,
+                      metric_key, parse_metric_key, set_registry,
+                      snapshot_from_json, snapshot_to_json)
 from .profiler import ModuleStat, ModuleTimer, OpStat, Profiler
 from .telemetry import (CallbackList, ConsoleLogger, EpochStats,
                         JsonlTelemetry, MetricsCallback, TrainerCallback)
@@ -32,4 +40,9 @@ __all__ = [
     "MetricsCallback", "EpochStats",
     "JsonlWriter", "chrome_trace_events", "write_chrome_trace",
     "span_to_dict", "format_span_tree",
+    "Counter", "Gauge", "Histogram", "HistogramStats", "MetricsDelta",
+    "MetricsRegistry", "PeriodicReporter", "StatsSnapshot",
+    "format_snapshot", "metric_key", "parse_metric_key",
+    "snapshot_to_json", "snapshot_from_json",
+    "get_registry", "set_registry",
 ]

@@ -37,6 +37,7 @@ def span_to_dict(span: Span) -> dict:
         "start": span.start,
         "duration_ms": span.duration_ms,
         "thread": span.thread,
+        "pid": span.pid,
         "attrs": dict(span.attrs),
     }
 
@@ -45,17 +46,22 @@ def chrome_trace_events(spans: Iterable[Span], pid: int = 1) -> list[dict]:
     """Convert spans to Chrome trace-event "complete" (ph=X) events.
 
     Timestamps are microseconds relative to the earliest span so the
-    viewer's timeline starts at zero.  Threads become separate tracks,
-    labelled via metadata events.
+    viewer's timeline starts at zero.  Each recording *process* becomes
+    a pid group (spans adopted from shard workers keep their worker pid,
+    so every worker renders as its own swimlane) and each thread within
+    it a separate track, labelled via metadata events.  Spans without a
+    pid stamp fall back to the ``pid`` argument.
     """
     spans = [s for s in spans if s.end is not None]
     if not spans:
         return []
     origin = min(s.start for s in spans)
-    tids: dict[str, int] = {}
+    parent_pid = min((s.pid for s in spans if s.pid), default=pid)
+    tids: dict[tuple[int, str], int] = {}
     events: list[dict] = []
     for span in spans:
-        tid = tids.setdefault(span.thread, len(tids) + 1)
+        span_pid = span.pid or pid
+        tid = tids.setdefault((span_pid, span.thread), len(tids) + 1)
         args = {k: _jsonable(v) for k, v in span.attrs.items()}
         args["span_id"] = span.span_id
         if span.parent_id is not None:
@@ -64,12 +70,19 @@ def chrome_trace_events(spans: Iterable[Span], pid: int = 1) -> list[dict]:
             "name": span.name, "ph": "X", "cat": "repro",
             "ts": round(1e6 * (span.start - origin), 3),
             "dur": round(1e6 * span.duration, 3),
-            "pid": pid, "tid": tid, "args": args,
+            "pid": span_pid, "tid": tid, "args": args,
         })
-    for thread_name, tid in tids.items():
+    for (span_pid, thread_name), tid in tids.items():
         events.append({
-            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "name": "thread_name", "ph": "M", "pid": span_pid, "tid": tid,
             "args": {"name": thread_name},
+        })
+    for span_pid in {p for p, _ in tids}:
+        label = "parent" if span_pid in (parent_pid, pid) \
+            else f"shard-worker {span_pid}"
+        events.append({
+            "name": "process_name", "ph": "M", "pid": span_pid, "tid": 0,
+            "args": {"name": f"{label} (pid {span_pid})"},
         })
     return events
 

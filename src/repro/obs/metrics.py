@@ -1,0 +1,495 @@
+"""The canonical metrics layer: counters, gauges, histograms, snapshots.
+
+Promoted from ``repro.serve.metrics`` (which re-exports everything here
+for back-compat) so that *every* process in the system — the serving
+runtime, shard workers, the trainer — shares one metric vocabulary.
+
+Three capabilities beyond the original serve-local registry:
+
+* **Labels** — ``registry.counter("rank_requests", shard=3)`` keys the
+  metric by ``(name, labels)``; snapshots and renderings show it as
+  ``rank_requests{shard=3}``.  Labelled and plain metrics with the same
+  base name coexist (they are distinct time series, as in Prometheus).
+* **Deltas** — a registry created with ``track_deltas=True`` (the shard
+  workers) can :meth:`~MetricsRegistry.flush_delta` the increments since
+  the previous flush into a picklable :class:`MetricsDelta` that rides
+  on the worker's reply.
+* **Merge** — :meth:`MetricsRegistry.merge` folds such a delta into the
+  parent registry: counter increments add, histogram samples append,
+  gauges last-write-win.  Merging the per-reply deltas in any order
+  yields counters equal to the sum of what every worker observed
+  (``tests/dist/test_telemetry.py`` asserts this property).
+
+A process-wide default registry (:func:`get_registry` /
+:func:`set_registry`) mirrors the tracer's pattern: worker roles record
+into whatever registry their process installed, without threading a
+handle through every call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .trace import SpanStats
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "HistogramStats", "StatsSnapshot",
+    "MetricsRegistry", "MetricsDelta", "PeriodicReporter",
+    "format_snapshot", "metric_key", "parse_metric_key",
+    "snapshot_to_json", "snapshot_from_json",
+    "get_registry", "set_registry",
+]
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """Canonical string key of a metric: ``name`` or ``name{k=v,...}``.
+
+    Labels are sorted so the same label set always renders (and hashes)
+    identically regardless of keyword order at the call site.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key`: ``(base name, labels dict)``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; cannot inc by "
+                             f"{amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Point-in-time value (queue depth, pool occupancy, ...)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """Summary of one histogram at snapshot time."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+    #: non-finite observations rejected at observe() time
+    dropped: int = 0
+
+
+class Histogram:
+    """Sliding-window histogram with percentile summaries.
+
+    Keeps the last ``window`` observations (deque, O(1) insert); the
+    percentiles therefore describe *recent* behaviour, which is what a
+    serving dashboard wants, at bounded memory.
+
+    Non-finite observations (a NaN latency from a poisoned clock delta)
+    are rejected at :meth:`observe` time and counted in :attr:`dropped`
+    — they never enter the window, so no downstream consumer has to
+    filter them.
+    """
+
+    def __init__(self, window: int = 2048, track_deltas: bool = False):
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._dropped = 0
+        # new samples since the last flush_delta (cross-process piggyback)
+        self._pending: list[float] | None = [] if track_deltas else None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not np.isfinite(value):
+            with self._lock:
+                self._dropped += 1
+            return
+        with self._lock:
+            self._samples.append(value)
+            self._count += 1
+            if self._pending is not None:
+                self._pending.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def dropped(self) -> int:
+        """Observations rejected as non-finite."""
+        with self._lock:
+            return self._dropped
+
+    def reset(self) -> None:
+        """Drop all samples and the lifetime count (fresh histogram)."""
+        with self._lock:
+            self._samples.clear()
+            self._count = 0
+            self._dropped = 0
+            if self._pending is not None:
+                self._pending.clear()
+
+    def drain_pending(self) -> list[float]:
+        """Samples observed since the previous drain (delta tracking)."""
+        with self._lock:
+            if not self._pending:
+                return []
+            pending, self._pending = self._pending, []
+            return pending
+
+    def stats(self) -> HistogramStats:
+        with self._lock:
+            samples = np.array(self._samples, dtype=np.float64)
+            count = self._count
+            dropped = self._dropped
+        if samples.size == 0:
+            return HistogramStats(count, 0.0, 0.0, 0.0, 0.0, 0.0, dropped)
+        p50, p95, p99 = np.percentile(samples, (50, 95, 99))
+        return HistogramStats(count, float(samples.mean()), float(p50),
+                              float(p95), float(p99), float(samples.max()),
+                              dropped)
+
+
+@dataclass
+class StatsSnapshot:
+    """Plain-data view of a registry at one instant.
+
+    Labelled metrics appear under their rendered key
+    (``rank_requests{shard=3}``); :func:`parse_metric_key` recovers the
+    structure where needed (the Prometheus renderer, grouped ASCII
+    output).
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramStats] = field(default_factory=dict)
+    #: per-stage span timings (from a repro.obs tracer), e.g.
+    #: ``{"serve.embed": SpanStats(...), "serve.rank": ...}``
+    stages: dict[str, SpanStats] = field(default_factory=dict)
+
+    @property
+    def model_version(self) -> int:
+        """Serving model generation (bumped by ``ServeRuntime.reload``)."""
+        return int(self.gauges.get("model_version", 0))
+
+    def hit_rate(self, cache: str) -> float:
+        """Hit fraction of ``<cache>_hits`` / ``<cache>_misses`` counters."""
+        hits = self.counters.get(f"{cache}_hits", 0)
+        misses = self.counters.get(f"{cache}_misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+@dataclass
+class MetricsDelta:
+    """Picklable increment set: what one worker observed since last flush.
+
+    Counter values are *increments* (not absolutes), so merging a delta
+    twice would double-count — the shard pool therefore discards the
+    telemetry of stale replies together with the replies themselves.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    samples: dict[str, list[float]] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.samples)
+
+
+class MetricsRegistry:
+    """Named metric factory; the single source of truth for snapshots."""
+
+    def __init__(self, histogram_window: int = 2048,
+                 track_deltas: bool = False):
+        self._lock = threading.Lock()
+        self._window = histogram_window
+        self._track_deltas = track_deltas
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        # counter baselines at the previous flush_delta
+        self._flushed: dict[str, int] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = metric_key(name, labels)
+        with self._lock:
+            return self._counters.setdefault(key, Counter())
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = metric_key(name, labels)
+        with self._lock:
+            return self._gauges.setdefault(key, Gauge())
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = metric_key(name, labels)
+        with self._lock:
+            return self._histograms.setdefault(
+                key, Histogram(self._window,
+                               track_deltas=self._track_deltas))
+
+    def snapshot(self) -> StatsSnapshot:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        counter_values = {key: c.value for key, c in counters.items()}
+        histogram_stats = {key: h.stats() for key, h in histograms.items()}
+        # surface observe()-time drops as a labelled counter so a NaN
+        # source is visible on a dashboard, not just silently discarded
+        for key, stats in histogram_stats.items():
+            if stats.dropped:
+                base, labels = parse_metric_key(key)
+                drop_key = metric_key("dropped_samples",
+                                      dict(labels, histogram=base))
+                counter_values[drop_key] = stats.dropped
+        return StatsSnapshot(
+            counters=counter_values,
+            gauges={key: g.value for key, g in gauges.items()},
+            histograms=histogram_stats,
+        )
+
+    # ------------------------------------------------------------------
+    # cross-process delta / merge
+    # ------------------------------------------------------------------
+    def flush_delta(self) -> MetricsDelta:
+        """Increments since the previous flush (worker-side piggyback)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        delta = MetricsDelta()
+        for key, counter in counters.items():
+            value = counter.value
+            increment = value - self._flushed.get(key, 0)
+            if increment:
+                delta.counters[key] = increment
+            self._flushed[key] = value
+        for key, gauge in gauges.items():
+            delta.gauges[key] = gauge.value
+        for key, histogram in histograms.items():
+            pending = histogram.drain_pending()
+            if pending:
+                delta.samples[key] = pending
+        return delta
+
+    def merge(self, delta: MetricsDelta) -> None:
+        """Fold one worker delta into this registry (order-independent
+        for counters and histogram contents; gauges last-write-win)."""
+        for key, increment in delta.counters.items():
+            name, labels = parse_metric_key(key)
+            self.counter(name, **labels).inc(increment)
+        for key, value in delta.gauges.items():
+            name, labels = parse_metric_key(key)
+            self.gauge(name, **labels).set(value)
+        for key, samples in delta.samples.items():
+            name, labels = parse_metric_key(key)
+            histogram = self.histogram(name, **labels)
+            for sample in samples:
+                histogram.observe(sample)
+
+
+class PeriodicReporter:
+    """Background thread that emits registry snapshots on an interval.
+
+    A callback that raises does not kill the thread: the exception is
+    swallowed, counted in the registry's ``reporter_errors`` counter,
+    and reporting continues on the next tick.
+    """
+
+    def __init__(self, registry: MetricsRegistry, callback,
+                 interval: float = 10.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._registry = registry
+        self._callback = callback
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="serve-metrics-reporter")
+
+    def start(self) -> "PeriodicReporter":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._callback(self._registry.snapshot())
+            except Exception:
+                self._registry.counter("reporter_errors").inc()
+
+
+# ----------------------------------------------------------------------
+# rendering / JSON round-trip
+# ----------------------------------------------------------------------
+
+def _group_by_base(keys) -> list[str]:
+    """Sort rendered keys by (base name, labels) so labelled series of
+    one metric stay adjacent under their plain sibling."""
+    def sort_key(key: str):
+        base, labels = parse_metric_key(key)
+        return base, sorted(labels.items())
+    return sorted(keys, key=sort_key)
+
+
+def format_snapshot(snapshot: StatsSnapshot, title: str = "serve stats") -> str:
+    """Human-readable rendering (the ``cli serve --stats`` output)."""
+    lines = [f"== {title} =="]
+    if snapshot.model_version:
+        lines.append(f"model version: {snapshot.model_version}")
+    if snapshot.counters:
+        lines.append("counters:")
+        for name in _group_by_base(snapshot.counters):
+            lines.append(f"  {name:<28} {snapshot.counters[name]:>10d}")
+    for cache in ("answer_cache", "embedding_cache"):
+        if (f"{cache}_hits" in snapshot.counters
+                or f"{cache}_misses" in snapshot.counters):
+            lines.append(f"  {cache + '_hit_rate':<28} "
+                         f"{100.0 * snapshot.hit_rate(cache):>9.1f}%")
+    if snapshot.gauges:
+        lines.append("gauges:")
+        for name in _group_by_base(snapshot.gauges):
+            lines.append(f"  {name:<28} {snapshot.gauges[name]:>10.1f}")
+    if snapshot.histograms:
+        lines.append("histograms:")
+        for name in _group_by_base(snapshot.histograms):
+            h = snapshot.histograms[name]
+            if h.count == 0 or not np.isfinite(
+                    (h.mean, h.p50, h.p95, h.p99, h.max)).all():
+                lines.append(f"  {name:<16} count={h.count:<7d} "
+                             f"(no samples)")
+                continue
+            lines.append(
+                f"  {name:<16} count={h.count:<7d} mean={h.mean:>8.3f} "
+                f"p50={h.p50:>8.3f} p95={h.p95:>8.3f} p99={h.p99:>8.3f} "
+                f"max={h.max:>8.3f}")
+    if snapshot.stages:
+        lines.append("stages (span timings, ms):")
+        for name in sorted(snapshot.stages):
+            s = snapshot.stages[name]
+            lines.append(
+                f"  {name:<20} count={s.count:<7d} mean={s.mean_ms:>8.3f} "
+                f"total={s.total_ms:>10.1f} max={s.max_ms:>8.3f}")
+    return "\n".join(lines)
+
+
+def snapshot_to_json(snapshot: StatsSnapshot) -> dict:
+    """JSON-safe dict of a snapshot (the ``/statusz`` payload)."""
+    return {
+        "counters": dict(snapshot.counters),
+        "gauges": dict(snapshot.gauges),
+        "histograms": {
+            key: {"count": h.count, "mean": h.mean, "p50": h.p50,
+                  "p95": h.p95, "p99": h.p99, "max": h.max,
+                  "dropped": h.dropped}
+            for key, h in snapshot.histograms.items()},
+        "stages": {
+            key: {"count": s.count, "total_ms": s.total_ms,
+                  "mean_ms": s.mean_ms, "max_ms": s.max_ms}
+            for key, s in snapshot.stages.items()},
+    }
+
+
+def snapshot_from_json(payload: dict) -> StatsSnapshot:
+    """Rebuild a snapshot from :func:`snapshot_to_json` output
+    (``cli stats`` renders a remote ``/statusz`` this way)."""
+    return StatsSnapshot(
+        counters={k: int(v) for k, v in payload.get("counters", {}).items()},
+        gauges={k: float(v) for k, v in payload.get("gauges", {}).items()},
+        histograms={
+            key: HistogramStats(
+                count=int(h.get("count", 0)), mean=float(h.get("mean", 0.0)),
+                p50=float(h.get("p50", 0.0)), p95=float(h.get("p95", 0.0)),
+                p99=float(h.get("p99", 0.0)), max=float(h.get("max", 0.0)),
+                dropped=int(h.get("dropped", 0)))
+            for key, h in payload.get("histograms", {}).items()},
+        stages={
+            key: SpanStats(
+                count=int(s.get("count", 0)),
+                total_ms=float(s.get("total_ms", 0.0)),
+                mean_ms=float(s.get("mean_ms", 0.0)),
+                max_ms=float(s.get("max_ms", 0.0)))
+            for key, s in payload.get("stages", {}).items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# process-wide default registry (mirrors trace.get_tracer/set_tracer)
+# ----------------------------------------------------------------------
+
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (shard worker roles record
+    here; :func:`repro.dist.pool._worker_main` installs a fresh
+    delta-tracking registry per worker process)."""
+    return _DEFAULT
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (returns the previous one)."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = registry
+    return previous
+
+
+# re-exported for back-compat with the original serve-local module
+_ = time  # noqa: F841  (kept: injectable clocks may arrive via kwargs)

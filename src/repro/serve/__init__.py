@@ -13,9 +13,12 @@ from .batcher import MicroBatcher, ServeFuture, ServeRequest
 from .cache import LruCache, TtlCache
 from .canonical import batch_key, cache_key, canonicalize, serialize
 from .client import ServeClient
+from .http import TelemetryHTTPServer, render_prometheus
 from .metrics import (Counter, Gauge, Histogram, HistogramStats,
-                      MetricsRegistry, PeriodicReporter, StatsSnapshot,
-                      format_snapshot)
+                      MetricsDelta, MetricsRegistry, PeriodicReporter,
+                      StatsSnapshot, format_snapshot, metric_key,
+                      parse_metric_key, snapshot_from_json,
+                      snapshot_to_json)
 from .runtime import ServeConfig, ServeError, ServeResult, ServeRuntime
 
 __all__ = [
@@ -24,6 +27,9 @@ __all__ = [
     "MicroBatcher", "ServeFuture", "ServeRequest",
     "LruCache", "TtlCache",
     "canonicalize", "serialize", "cache_key", "batch_key",
-    "Counter", "Gauge", "Histogram", "HistogramStats", "MetricsRegistry",
-    "PeriodicReporter", "StatsSnapshot", "format_snapshot",
+    "Counter", "Gauge", "Histogram", "HistogramStats", "MetricsDelta",
+    "MetricsRegistry", "PeriodicReporter", "StatsSnapshot",
+    "format_snapshot", "metric_key", "parse_metric_key",
+    "snapshot_from_json", "snapshot_to_json",
+    "TelemetryHTTPServer", "render_prometheus",
 ]

@@ -1,0 +1,239 @@
+"""HTTP exposition of serving telemetry: ``/metrics``, ``/healthz``,
+``/statusz``.
+
+A tiny stdlib-only (:mod:`http.server`) endpoint the serving runtime
+mounts when ``ServeConfig.http_port`` is set, so an external scraper —
+Prometheus, a load balancer's health probe, ``curl`` — can observe the
+process from outside:
+
+* ``GET /metrics``  — the current :class:`~repro.obs.StatsSnapshot`
+  rendered in the Prometheus text exposition format (v0.0.4): counters
+  as ``*_total``, gauges verbatim, histograms as quantile summaries,
+  span stages as ``repro_stage_seconds``.  Labelled metrics
+  (``rank_requests{shard=3}``) render with proper quoting/escaping.
+* ``GET /healthz``  — 200 with a JSON body while healthy, 503 when not
+  (runtime closed, model missing, or a shard worker process dead —
+  detected via the pool's per-worker liveness).
+* ``GET /statusz``  — the full JSON snapshot (model version, shard
+  liveness, cache hit rates, stage timings); ``cli stats host:port``
+  pretty-prints it.
+
+Requests are served by a :class:`ThreadingHTTPServer` on a daemon
+thread, so scrapes never sit on the query path; each scrape takes one
+registry snapshot (a short lock per metric, no stop-the-world).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from ..obs.metrics import (StatsSnapshot, parse_metric_key,
+                           snapshot_to_json)
+
+__all__ = ["TelemetryHTTPServer", "render_prometheus"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_FIX = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str = "repro_") -> str:
+    """Prometheus-legal metric name (dots and dashes become ``_``)."""
+    name = prefix + name
+    if not _NAME_OK.match(name):
+        name = _NAME_FIX.sub("_", name)
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_FIX.sub("_", k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN guard; snapshots should never carry one
+        return "NaN"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: StatsSnapshot) -> str:
+    """Prometheus text-format (v0.0.4) rendering of one snapshot.
+
+    Every series of one base metric shares a single ``# TYPE`` header;
+    histograms render as summaries (quantile label + ``_sum`` /
+    ``_count``), with the window mean exposed as the sum of the samples
+    the window currently holds.
+    """
+    lines: list[str] = []
+
+    def header(name: str, kind: str) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+
+    by_base: dict[str, list[tuple[dict, int]]] = {}
+    for key, value in sorted(snapshot.counters.items()):
+        base, labels = parse_metric_key(key)
+        by_base.setdefault(base, []).append((labels, value))
+    for base, series in by_base.items():
+        name = _metric_name(base) + "_total"
+        header(name, "counter")
+        for labels, value in series:
+            lines.append(f"{name}{_labels_text(labels)} {_fmt(value)}")
+
+    by_base_g: dict[str, list[tuple[dict, float]]] = {}
+    for key, value in sorted(snapshot.gauges.items()):
+        base, labels = parse_metric_key(key)
+        by_base_g.setdefault(base, []).append((labels, value))
+    for base, series in by_base_g.items():
+        name = _metric_name(base)
+        header(name, "gauge")
+        for labels, value in series:
+            lines.append(f"{name}{_labels_text(labels)} {_fmt(value)}")
+
+    by_base_h: dict[str, list[tuple[dict, object]]] = {}
+    for key, stats in sorted(snapshot.histograms.items()):
+        base, labels = parse_metric_key(key)
+        by_base_h.setdefault(base, []).append((labels, stats))
+    for base, series in by_base_h.items():
+        name = _metric_name(base)
+        header(name, "summary")
+        for labels, stats in series:
+            for quantile, value in (("0.5", stats.p50), ("0.95", stats.p95),
+                                    ("0.99", stats.p99)):
+                q_labels = dict(labels, quantile=quantile)
+                lines.append(f"{name}{_labels_text(q_labels)} "
+                             f"{_fmt(value)}")
+            lines.append(f"{name}_sum{_labels_text(labels)} "
+                         f"{_fmt(stats.mean * stats.count)}")
+            lines.append(f"{name}_count{_labels_text(labels)} "
+                         f"{_fmt(stats.count)}")
+
+    if snapshot.stages:
+        sum_name = _metric_name("stage_seconds_sum")
+        count_name = _metric_name("stage_seconds_count")
+        header(sum_name, "counter")
+        for stage in sorted(snapshot.stages):
+            s = snapshot.stages[stage]
+            labels = _labels_text({"stage": stage})
+            lines.append(f"{sum_name}{labels} {_fmt(s.total_ms / 1000.0)}")
+        header(count_name, "counter")
+        for stage in sorted(snapshot.stages):
+            s = snapshot.stages[stage]
+            labels = _labels_text({"stage": stage})
+            lines.append(f"{count_name}{labels} {_fmt(s.count)}")
+
+    return "\n".join(lines) + "\n"
+
+
+class TelemetryHTTPServer:
+    """Threaded HTTP server exposing one runtime's telemetry.
+
+    Parameters
+    ----------
+    snapshot_fn:
+        Zero-arg callable returning the current :class:`StatsSnapshot`
+        (``ServeRuntime.stats``).
+    health_fn:
+        Optional zero-arg callable returning ``(ok, detail_dict)``
+        (``ServeRuntime.health``); without one, ``/healthz`` is always
+        200.
+    host, port:
+        Bind address.  ``port=0`` picks an ephemeral port, available as
+        :attr:`port` after construction (tests rely on this).
+    """
+
+    def __init__(self, snapshot_fn: Callable[[], StatsSnapshot],
+                 health_fn=None, host: str = "127.0.0.1", port: int = 0):
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # no stderr chatter per scrape
+                pass
+
+            def do_GET(self):  # noqa: N802 (stdlib handler contract)
+                try:
+                    outer._route(self)
+                except BrokenPipeError:  # client went away mid-reply
+                    pass
+
+        self._snapshot_fn = snapshot_fn
+        self._health_fn = health_fn
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.host = self._server.server_address[0]
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True,
+            name="serve-http")
+        self._thread.start()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _route(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self._snapshot_fn())
+            self._reply(handler, 200, body,
+                        "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/healthz":
+            ok, detail = (True, {}) if self._health_fn is None \
+                else self._health_fn()
+            body = json.dumps({"ok": ok, **detail}, default=str) + "\n"
+            self._reply(handler, 200 if ok else 503, body,
+                        "application/json")
+        elif path == "/statusz":
+            snapshot = self._snapshot_fn()
+            payload = snapshot_to_json(snapshot)
+            payload["model_version"] = snapshot.model_version
+            payload["hit_rates"] = {
+                cache: snapshot.hit_rate(cache)
+                for cache in ("answer_cache", "embedding_cache")}
+            if self._health_fn is not None:
+                ok, detail = self._health_fn()
+                payload["health"] = {"ok": ok, **detail}
+            body = json.dumps(payload, default=str) + "\n"
+            self._reply(handler, 200, body, "application/json")
+        else:
+            self._reply(handler, 404, "not found\n", "text/plain")
+
+    @staticmethod
+    def _reply(handler, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(encoded)))
+        handler.end_headers()
+        handler.wfile.write(encoded)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TelemetryHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

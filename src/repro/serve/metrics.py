@@ -1,246 +1,20 @@
-"""Observability primitives for the serving runtime.
+"""Back-compat shim: the metrics layer moved to :mod:`repro.obs.metrics`.
 
-Counters, gauges, and latency histograms with percentile summaries, all
-thread-safe, collected behind a :class:`MetricsRegistry`.  A registry can
-be snapshotted at any time into a plain-data :class:`StatsSnapshot`
-(rendered with :func:`format_snapshot`), and a :class:`PeriodicReporter`
-pushes snapshots to a callback on a fixed interval — the "periodic
-stats-snapshot API" used by ``python -m repro.cli serve``.
+The registry became cross-process infrastructure (shard workers flush
+deltas into the parent registry; the HTTP exposition renders it), so it
+now lives with the rest of the observability layer.  Every name that
+used to be importable from here still is.
 """
 
-from __future__ import annotations
-
-import threading
-import time
-from collections import deque
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from ..obs.trace import SpanStats
+from ..obs.metrics import (Counter, Gauge, Histogram, HistogramStats,
+                           MetricsDelta, MetricsRegistry, PeriodicReporter,
+                           StatsSnapshot, format_snapshot, metric_key,
+                           parse_metric_key, snapshot_from_json,
+                           snapshot_to_json)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "HistogramStats", "StatsSnapshot",
-    "MetricsRegistry", "PeriodicReporter", "format_snapshot",
+    "MetricsRegistry", "MetricsDelta", "PeriodicReporter",
+    "format_snapshot", "metric_key", "parse_metric_key",
+    "snapshot_to_json", "snapshot_from_json",
 ]
-
-
-class Counter:
-    """Monotonically increasing counter."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-class Gauge:
-    """Point-in-time value (queue depth, pool occupancy, ...)."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._value = 0.0
-
-    def set(self, value: float) -> None:
-        with self._lock:
-            self._value = float(value)
-
-    def add(self, delta: float) -> None:
-        with self._lock:
-            self._value += float(delta)
-
-    @property
-    def value(self) -> float:
-        with self._lock:
-            return self._value
-
-
-@dataclass(frozen=True)
-class HistogramStats:
-    """Summary of one histogram at snapshot time."""
-
-    count: int
-    mean: float
-    p50: float
-    p95: float
-    p99: float
-    max: float
-
-
-class Histogram:
-    """Sliding-window histogram with percentile summaries.
-
-    Keeps the last ``window`` observations (deque, O(1) insert); the
-    percentiles therefore describe *recent* behaviour, which is what a
-    serving dashboard wants, at bounded memory.
-    """
-
-    def __init__(self, window: int = 2048):
-        self._lock = threading.Lock()
-        self._samples: deque[float] = deque(maxlen=window)
-        self._count = 0
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._samples.append(float(value))
-            self._count += 1
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    def reset(self) -> None:
-        """Drop all samples and the lifetime count (fresh histogram)."""
-        with self._lock:
-            self._samples.clear()
-            self._count = 0
-
-    def stats(self) -> HistogramStats:
-        with self._lock:
-            samples = np.array(self._samples, dtype=np.float64)
-            count = self._count
-        # Non-finite observations (a NaN latency from a poisoned clock
-        # delta) would make every percentile NaN; keep the summary sane.
-        samples = samples[np.isfinite(samples)]
-        if samples.size == 0:
-            return HistogramStats(count, 0.0, 0.0, 0.0, 0.0, 0.0)
-        p50, p95, p99 = np.percentile(samples, (50, 95, 99))
-        return HistogramStats(count, float(samples.mean()), float(p50),
-                              float(p95), float(p99), float(samples.max()))
-
-
-@dataclass
-class StatsSnapshot:
-    """Plain-data view of a registry at one instant."""
-
-    counters: dict[str, int] = field(default_factory=dict)
-    gauges: dict[str, float] = field(default_factory=dict)
-    histograms: dict[str, HistogramStats] = field(default_factory=dict)
-    #: per-stage span timings (from a repro.obs tracer), e.g.
-    #: ``{"serve.embed": SpanStats(...), "serve.rank": ...}``
-    stages: dict[str, SpanStats] = field(default_factory=dict)
-
-    @property
-    def model_version(self) -> int:
-        """Serving model generation (bumped by ``ServeRuntime.reload``)."""
-        return int(self.gauges.get("model_version", 0))
-
-    def hit_rate(self, cache: str) -> float:
-        """Hit fraction of ``<cache>_hits`` / ``<cache>_misses`` counters."""
-        hits = self.counters.get(f"{cache}_hits", 0)
-        misses = self.counters.get(f"{cache}_misses", 0)
-        total = hits + misses
-        return hits / total if total else 0.0
-
-
-class MetricsRegistry:
-    """Named metric factory; the single source of truth for snapshots."""
-
-    def __init__(self, histogram_window: int = 2048):
-        self._lock = threading.Lock()
-        self._window = histogram_window
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            return self._counters.setdefault(name, Counter())
-
-    def gauge(self, name: str) -> Gauge:
-        with self._lock:
-            return self._gauges.setdefault(name, Gauge())
-
-    def histogram(self, name: str) -> Histogram:
-        with self._lock:
-            return self._histograms.setdefault(name,
-                                               Histogram(self._window))
-
-    def snapshot(self) -> StatsSnapshot:
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            histograms = dict(self._histograms)
-        return StatsSnapshot(
-            counters={name: c.value for name, c in counters.items()},
-            gauges={name: g.value for name, g in gauges.items()},
-            histograms={name: h.stats() for name, h in histograms.items()},
-        )
-
-
-class PeriodicReporter:
-    """Background thread that emits registry snapshots on an interval."""
-
-    def __init__(self, registry: MetricsRegistry, callback,
-                 interval: float = 10.0):
-        if interval <= 0:
-            raise ValueError("interval must be positive")
-        self._registry = registry
-        self._callback = callback
-        self._interval = interval
-        self._stop = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True,
-                                        name="serve-metrics-reporter")
-
-    def start(self) -> "PeriodicReporter":
-        self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        self._stop.set()
-        if self._thread.is_alive():
-            self._thread.join()
-
-    def _run(self) -> None:
-        while not self._stop.wait(self._interval):
-            self._callback(self._registry.snapshot())
-
-
-def format_snapshot(snapshot: StatsSnapshot, title: str = "serve stats") -> str:
-    """Human-readable rendering (the ``cli serve --stats`` output)."""
-    lines = [f"== {title} =="]
-    if snapshot.model_version:
-        lines.append(f"model version: {snapshot.model_version}")
-    if snapshot.counters:
-        lines.append("counters:")
-        for name in sorted(snapshot.counters):
-            lines.append(f"  {name:<28} {snapshot.counters[name]:>10d}")
-    for cache in ("answer_cache", "embedding_cache"):
-        if (f"{cache}_hits" in snapshot.counters
-                or f"{cache}_misses" in snapshot.counters):
-            lines.append(f"  {cache + '_hit_rate':<28} "
-                         f"{100.0 * snapshot.hit_rate(cache):>9.1f}%")
-    if snapshot.gauges:
-        lines.append("gauges:")
-        for name in sorted(snapshot.gauges):
-            lines.append(f"  {name:<28} {snapshot.gauges[name]:>10.1f}")
-    if snapshot.histograms:
-        lines.append("histograms:")
-        for name in sorted(snapshot.histograms):
-            h = snapshot.histograms[name]
-            if h.count == 0 or not np.isfinite(
-                    (h.mean, h.p50, h.p95, h.p99, h.max)).all():
-                lines.append(f"  {name:<16} count={h.count:<7d} "
-                             f"(no samples)")
-                continue
-            lines.append(
-                f"  {name:<16} count={h.count:<7d} mean={h.mean:>8.3f} "
-                f"p50={h.p50:>8.3f} p95={h.p95:>8.3f} p99={h.p99:>8.3f} "
-                f"max={h.max:>8.3f}")
-    if snapshot.stages:
-        lines.append("stages (span timings, ms):")
-        for name in sorted(snapshot.stages):
-            s = snapshot.stages[name]
-            lines.append(
-                f"  {name:<20} count={s.count:<7d} mean={s.mean_ms:>8.3f} "
-                f"total={s.total_ms:>10.1f} max={s.max_ms:>8.3f}")
-    return "\n".join(lines)

@@ -73,6 +73,12 @@ class ServeConfig:
     #: worker processes; silently falls back to in-process when the
     #: model or platform does not support sharding)
     num_shards: int = 0
+    #: mount the telemetry HTTP server (``/metrics`` ``/healthz``
+    #: ``/statusz``) on this port; None = no HTTP, 0 = ephemeral port
+    #: (the bound port is ``runtime.http_server.port``)
+    http_port: int | None = None
+    #: bind address of the telemetry HTTP server
+    http_host: str = "127.0.0.1"
 
 
 @dataclass(frozen=True)
@@ -178,12 +184,15 @@ class ServeRuntime:
         self.config = config or ServeConfig()
         self._clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.metrics = MetricsRegistry(self.config.histogram_window)
         self._ranker = None
         if self.config.num_shards >= 2:
             from ..dist import ShardedRanker
+            # the runtime's registry doubles as the pool's merge target,
+            # so per-shard worker metrics surface in stats()/ /metrics
             self._ranker = ShardedRanker.for_model(
-                model, self.config.num_shards, tracer=self.tracer)
-        self.metrics = MetricsRegistry(self.config.histogram_window)
+                model, self.config.num_shards, tracer=self.tracer,
+                metrics=self.metrics)
         self.metrics.gauge("shards").set(
             self._ranker.num_shards if self._ranker is not None else 0)
         self._latency = self.metrics.histogram("latency_ms")
@@ -210,6 +219,12 @@ class ServeRuntime:
         self.metrics.gauge("model_version").set(self._model_version)
         self._watcher: threading.Thread | None = None
         self._watch_stop = threading.Event()
+        self.http_server = None
+        if self.config.http_port is not None:
+            from .http import TelemetryHTTPServer
+            self.http_server = TelemetryHTTPServer(
+                snapshot_fn=self.stats, health_fn=self.health,
+                host=self.config.http_host, port=self.config.http_port)
 
     # ------------------------------------------------------------------
     # public API
@@ -342,6 +357,30 @@ class ServeRuntime:
         except OSError:
             return None
 
+    def health(self) -> tuple[bool, dict]:
+        """Liveness verdict + detail (the ``/healthz`` payload).
+
+        Healthy means: the runtime is open, a model is loaded, and —
+        when ranking is sharded — every shard worker process is alive.
+        A SIGKILLed worker flips this to unhealthy until the pool's
+        supervision respawns it on the next ranking request.
+        """
+        detail: dict = {
+            "closed": self._closed,
+            "model_loaded": self.model is not None,
+            "model_version": self._model_version,
+            "shards": 0,
+        }
+        ok = not self._closed and self.model is not None
+        if self._ranker is not None:
+            alive = self._ranker.pool.alive()
+            detail["shards"] = self._ranker.num_shards
+            detail["workers_alive"] = alive
+            detail["worker_respawns"] = self._ranker.respawns
+            if not all(alive):
+                ok = False
+        return ok, detail
+
     def stats(self) -> StatsSnapshot:
         """Current metrics, with cache tiers and span stages folded in."""
         for name, cache in (("answer_cache", self._answers),
@@ -368,6 +407,8 @@ class ServeRuntime:
         if self._watcher is not None:
             self._watcher.join()
             self._watcher = None
+        if self.http_server is not None:
+            self.http_server.close()
         self._batcher.close()
         self._pool.shutdown(wait=True)
         if self._ranker is not None:

@@ -1,0 +1,116 @@
+"""The benchmark trajectory recorder and its regression gate."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+import record  # noqa: E402
+
+
+@pytest.fixture()
+def trajectory(tmp_path) -> pathlib.Path:
+    return tmp_path / "BENCH_test.json"
+
+
+class TestRecord:
+    def test_entries_append_and_keep_history(self, trajectory):
+        record.record(trajectory, {"batched_qps": 100.0},
+                      commit="aaa1111", timestamp="2026-08-01T00:00:00")
+        record.record(trajectory, {"batched_qps": 110.0},
+                      commit="bbb2222", timestamp="2026-08-02T00:00:00")
+        entries = record.load_entries(trajectory)
+        assert [e["value"] for e in entries] == [100.0, 110.0]
+        assert [e["commit"] for e in entries] == ["aaa1111", "bbb2222"]
+        assert all(e["higher_is_better"] for e in entries)
+
+    def test_per_metric_direction(self, trajectory):
+        record.record(trajectory,
+                      {"qps": 100.0, "latency_ms": 5.0},
+                      higher_is_better={"qps": True, "latency_ms": False},
+                      commit="c", timestamp="t")
+        by_metric = {e["metric"]: e for e in
+                     record.load_entries(trajectory)}
+        assert by_metric["qps"]["higher_is_better"] is True
+        assert by_metric["latency_ms"]["higher_is_better"] is False
+
+    def test_file_is_valid_json_list(self, trajectory):
+        record.record(trajectory, {"m": 1.0}, commit="c", timestamp="t")
+        payload = json.loads(trajectory.read_text())
+        assert isinstance(payload, list)
+
+
+class TestCheckRegression:
+    def test_within_threshold_passes(self, trajectory):
+        record.record(trajectory, {"qps": 100.0}, commit="a", timestamp="t")
+        record.record(trajectory, {"qps": 90.0}, commit="b", timestamp="t")
+        report = record.check_regression(trajectory, threshold=0.2)
+        assert report["qps"]["change"] == pytest.approx(0.10)
+
+    def test_25_percent_drop_fails(self, trajectory):
+        record.record(trajectory, {"qps": 100.0}, commit="a", timestamp="t")
+        record.record(trajectory, {"qps": 75.0}, commit="b", timestamp="t")
+        with pytest.raises(record.RegressionError, match="qps"):
+            record.check_regression(trajectory, threshold=0.2)
+
+    def test_lower_is_better_direction_respected(self, trajectory):
+        record.record(trajectory, {"latency_ms": 4.0},
+                      higher_is_better=False, commit="a", timestamp="t")
+        record.record(trajectory, {"latency_ms": 5.0},
+                      higher_is_better=False, commit="b", timestamp="t")
+        with pytest.raises(record.RegressionError, match="rose"):
+            record.check_regression(trajectory, threshold=0.2)
+        # a latency *drop* is an improvement, never a failure
+        record.record(trajectory, {"latency_ms": 2.0},
+                      higher_is_better=False, commit="c", timestamp="t")
+        report = record.check_regression(trajectory, threshold=0.2)
+        assert report["latency_ms"]["change"] < 0
+
+    def test_compares_against_best_not_previous(self, trajectory):
+        # each step drops 10% (under threshold vs previous), but the
+        # cumulative drift vs the best must still trip the gate
+        for index, value in enumerate((100.0, 90.0, 81.0, 72.9)):
+            record.record(trajectory, {"qps": value},
+                          commit=f"c{index}", timestamp="t")
+        with pytest.raises(record.RegressionError):
+            record.check_regression(trajectory, threshold=0.2)
+
+    def test_single_entry_has_nothing_to_compare(self, trajectory):
+        record.record(trajectory, {"qps": 100.0}, commit="a", timestamp="t")
+        assert record.check_regression(trajectory) == {}
+
+
+class TestCliExit:
+    def _run(self, *argv) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, str(REPO / "benchmarks" / "record.py"),
+             *argv], capture_output=True, text=True, timeout=60)
+
+    def test_exit_nonzero_on_synthetic_25_percent_regression(
+            self, trajectory):
+        record.record(trajectory, {"batched_qps": 1000.0},
+                      commit="good", timestamp="t")
+        record.record(trajectory, {"batched_qps": 750.0},
+                      commit="bad", timestamp="t")
+        result = self._run(str(trajectory), "--check-regression")
+        assert result.returncode != 0
+        assert "REGRESSION" in result.stdout
+        assert "batched_qps" in result.stdout
+
+    def test_exit_zero_when_healthy(self, trajectory):
+        record.record(trajectory, {"batched_qps": 1000.0},
+                      commit="good", timestamp="t")
+        record.record(trajectory, {"batched_qps": 980.0},
+                      commit="fine", timestamp="t")
+        result = self._run(str(trajectory), "--check-regression")
+        assert result.returncode == 0
+
+    def test_missing_file_fails_the_gate(self, tmp_path):
+        result = self._run(str(tmp_path / "BENCH_absent.json"),
+                           "--check-regression")
+        assert result.returncode != 0

@@ -28,10 +28,11 @@ class TestChromeTrace:
         complete = [e for e in events if e["ph"] == "X"]
         meta = [e for e in events if e["ph"] == "M"]
         assert len(complete) == 3
-        assert len(meta) == 1  # one thread track
+        assert len(meta) == 2  # one thread track + its process label
+        import os
         for event in complete:
             assert event["ts"] >= 0 and event["dur"] >= 0
-            assert event["pid"] == 1 and event["tid"] >= 1
+            assert event["pid"] == os.getpid() and event["tid"] >= 1
             assert "span_id" in event["args"]
         names = {e["name"] for e in complete}
         assert names == {"request", "embed", "rank"}
@@ -49,7 +50,7 @@ class TestChromeTrace:
         path = tmp_path / "trace.json"
         count = obs.write_chrome_trace(path, spans)
         payload = json.loads(path.read_text())
-        assert len(payload["traceEvents"]) == count == 4
+        assert len(payload["traceEvents"]) == count == 5
         assert payload["displayTimeUnit"] == "ms"
 
     def test_empty_spans(self, tmp_path):

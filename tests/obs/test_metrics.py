@@ -1,0 +1,175 @@
+"""The canonical metrics layer: labels, deltas, merge, rendering.
+
+The label/delta/merge surface is what the shard worker pool relies on
+(``repro.dist.pool`` piggybacks :class:`MetricsDelta` objects on worker
+replies); these tests pin its semantics single-process, and
+``tests/dist/test_telemetry.py`` re-checks the merge invariant across
+real worker processes.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (MetricsDelta, MetricsRegistry,
+                               PeriodicReporter, format_snapshot,
+                               metric_key, parse_metric_key,
+                               snapshot_from_json, snapshot_to_json)
+
+pytestmark = pytest.mark.obs
+
+
+class TestMetricKeys:
+    def test_plain_name_round_trips(self):
+        assert metric_key("requests") == "requests"
+        assert parse_metric_key("requests") == ("requests", {})
+
+    def test_labels_sorted_and_rendered(self):
+        key = metric_key("rank_requests", {"shard": 3, "host": "a"})
+        assert key == "rank_requests{host=a,shard=3}"
+
+    def test_label_order_does_not_matter(self):
+        a = metric_key("m", {"x": 1, "y": 2})
+        b = metric_key("m", {"y": 2, "x": 1})
+        assert a == b
+
+    def test_parse_inverts_render(self):
+        key = metric_key("rank_block_ms", {"shard": 2})
+        base, labels = parse_metric_key(key)
+        assert base == "rank_block_ms"
+        assert labels == {"shard": "2"}
+        assert metric_key(base, labels) == key
+
+
+class TestLabelledMetrics:
+    def test_labelled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("rank_requests", shard=0).inc(3)
+        registry.counter("rank_requests", shard=1).inc(5)
+        registry.counter("rank_requests").inc(1)  # plain sibling coexists
+        snapshot = registry.snapshot()
+        assert snapshot.counters["rank_requests{shard=0}"] == 3
+        assert snapshot.counters["rank_requests{shard=1}"] == 5
+        assert snapshot.counters["rank_requests"] == 1
+
+    def test_same_labels_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", shard=1) is registry.counter(
+            "c", shard=1)
+        assert registry.counter("c", shard=1) is not registry.counter(
+            "c", shard=2)
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc(2)
+        with pytest.raises(ValueError, match="monotonic"):
+            counter.inc(-1)
+        assert counter.value == 2  # the failed inc left no trace
+
+
+class TestDeltaFlush:
+    def test_flush_returns_increments_since_last_flush(self):
+        registry = MetricsRegistry(track_deltas=True)
+        registry.counter("requests").inc(3)
+        first = registry.flush_delta()
+        assert first.counters == {"requests": 3}
+        registry.counter("requests").inc(2)
+        second = registry.flush_delta()
+        assert second.counters == {"requests": 2}  # not 5: increments
+        assert not registry.flush_delta()  # nothing new -> falsy delta
+
+    def test_histogram_samples_drain_once(self):
+        registry = MetricsRegistry(track_deltas=True)
+        registry.histogram("latency_ms").observe(1.0)
+        registry.histogram("latency_ms").observe(2.0)
+        delta = registry.flush_delta()
+        assert delta.samples == {"latency_ms": [1.0, 2.0]}
+        assert registry.flush_delta().samples == {}
+        # ... but the local window still has them
+        assert registry.snapshot().histograms["latency_ms"].count == 2
+
+    def test_merge_accumulates_counters_and_samples(self):
+        parent = MetricsRegistry()
+        parent.counter("rank_requests", shard=0).inc(10)
+        delta = MetricsDelta(counters={"rank_requests{shard=0}": 4},
+                             gauges={"occupancy": 0.5},
+                             samples={"rank_block_ms{shard=0}": [3.0]})
+        parent.merge(delta)
+        parent.merge(MetricsDelta(
+            counters={"rank_requests{shard=0}": 1}))
+        snapshot = parent.snapshot()
+        assert snapshot.counters["rank_requests{shard=0}"] == 15
+        assert snapshot.gauges["occupancy"] == 0.5
+        assert snapshot.histograms["rank_block_ms{shard=0}"].count == 1
+
+    def test_merge_order_independent_for_counters(self):
+        deltas = [MetricsDelta(counters={"c": i}) for i in (1, 2, 3)]
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for delta in deltas:
+            forward.merge(delta)
+        for delta in reversed(deltas):
+            backward.merge(delta)
+        assert forward.snapshot().counters == backward.snapshot().counters
+
+
+class TestJsonRoundTrip:
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("rank_requests", shard=1).inc(7)
+        registry.gauge("shards").set(2)
+        registry.histogram("latency_ms").observe(5.0)
+        snapshot = registry.snapshot()
+        rebuilt = snapshot_from_json(snapshot_to_json(snapshot))
+        assert rebuilt.counters == snapshot.counters
+        assert rebuilt.gauges == snapshot.gauges
+        assert rebuilt.histograms["latency_ms"].p50 == \
+            snapshot.histograms["latency_ms"].p50
+
+
+class TestFormatGolden:
+    def test_labelled_rows_grouped_by_base_name(self):
+        registry = MetricsRegistry()
+        registry.counter("rank_requests", shard=0).inc(3)
+        registry.counter("rank_requests", shard=1).inc(5)
+        registry.counter("worker_respawns").inc(1)
+        registry.gauge("shards").set(2)
+        registry.histogram("rank_block_ms", shard=0).observe(4.0)
+        golden = (
+            "== serve stats ==\n"
+            "counters:\n"
+            "  rank_requests{shard=0}                3\n"
+            "  rank_requests{shard=1}                5\n"
+            "  worker_respawns                       1\n"
+            "gauges:\n"
+            "  shards                              2.0\n"
+            "histograms:\n"
+            "  rank_block_ms{shard=0} count=1       "
+            "mean=   4.000 p50=   4.000 p95=   4.000 p99=   4.000 "
+            "max=   4.000"
+        )
+        assert format_snapshot(registry.snapshot()) == golden
+
+
+class TestPeriodicReporterResilience:
+    def test_raising_callback_keeps_thread_alive(self):
+        registry = MetricsRegistry()
+        second_tick = threading.Event()
+        calls = []
+
+        def flaky(snapshot):
+            calls.append(snapshot)
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            second_tick.set()
+
+        reporter = PeriodicReporter(registry, flaky, interval=0.02)
+        reporter.start()
+        try:
+            assert second_tick.wait(timeout=5.0), \
+                "reporter thread died after the first callback raised"
+        finally:
+            reporter.stop()
+        assert len(calls) >= 2
+        assert registry.counter("reporter_errors").value == 1

@@ -26,6 +26,15 @@ pytestmark = pytest.mark.obs
 #: generous ceiling on tracer touches per served request (runtime uses ~8)
 SPAN_OPS_PER_REQUEST = 32
 
+#: ceiling on telemetry touches per *sharded* ranking request, summed
+#: over parent and workers: span ops (shard.dispatch/gather/merge plus
+#: the per-worker worker.handle/score/topk checks) and metric ops (the
+#: per-shard counter inc + histogram observe, the delta flush, the
+#: parent merge).  Real counts are ~6 spans and ~8 metric ops for 2
+#: shards; the ceilings leave >2x slack.
+DIST_SPAN_OPS_PER_REQUEST = 32
+DIST_METRIC_OPS_PER_REQUEST = 32
+
 
 def _best_of(fn, repeats: int = 5) -> float:
     best = float("inf")
@@ -77,3 +86,68 @@ class TestDisabledOverhead:
         tracer = obs.Tracer()
         contexts = {id(tracer.span("a")) for _ in range(10)}
         assert len(contexts) == 1  # no per-call allocation
+
+
+def _metric_op_cost(calls: int = 2000) -> float:
+    """Best-of per-call seconds of the worker-side metric hot path
+    (labelled counter inc + histogram observe on a delta registry)."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry(track_deltas=True)
+    counter = registry.counter("rank_requests", shard=0)
+    histogram = registry.histogram("rank_block_ms", shard=0)
+
+    def once() -> float:
+        start = time.perf_counter()
+        for _ in range(calls):
+            counter.inc()
+            histogram.observe(1.0)
+        registry.flush_delta()  # keep the pending list bounded
+        return (time.perf_counter() - start) / calls
+
+    return _best_of(once)
+
+
+class TestDisabledOverheadSharded:
+    def test_sharded_ranking_overhead_under_5_percent(self):
+        """The dist-path telemetry (piggybacked deltas, span checks)
+        must stay under 5% of a sharded ranking request with tracing
+        disabled.  Same methodology as the serve-path bound above:
+        measured per-op cost times a generous op ceiling."""
+        from repro.dist import ShardedRanker, dist_available
+
+        if not dist_available():
+            pytest.skip("shared memory unavailable on this platform")
+        assert not obs.is_enabled()
+        rng = np.random.default_rng(1)
+        n = 101
+        kg = KnowledgeGraph(n, 3, [
+            (int(rng.integers(n)), int(rng.integers(3)),
+             int(rng.integers(n))) for _ in range(250)])
+        model = HalkModel(kg, ModelConfig(embedding_dim=8, hidden_dim=16,
+                                          seed=0))
+        queries = [Projection(rel, Entity(head))
+                   for head, rel, _ in list(kg)[:4]]
+        embedding = model.embed_batch(queries)
+        ranker = ShardedRanker.for_model(model, 2)
+        if ranker is None:
+            pytest.skip("model/platform does not support sharding")
+        try:
+            ranker.topk(embedding, 5)  # warm the pool
+
+            def one_request() -> float:
+                start = time.perf_counter()
+                ranker.topk(embedding, 5)
+                return time.perf_counter() - start
+
+            query_seconds = _best_of(one_request)
+        finally:
+            ranker.close()
+        span_seconds = _disabled_span_cost(obs.get_tracer())
+        metric_seconds = _metric_op_cost()
+        overhead = (DIST_SPAN_OPS_PER_REQUEST * span_seconds
+                    + DIST_METRIC_OPS_PER_REQUEST * metric_seconds)
+        assert overhead < 0.05 * query_seconds, (
+            f"disabled telemetry would cost {1e6 * overhead:.1f}us per "
+            f"sharded request vs {1e6 * query_seconds:.1f}us request "
+            f"time")

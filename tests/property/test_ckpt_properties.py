@@ -22,11 +22,13 @@ array_values = st.one_of(
            elements=st.integers(min_value=-2 ** 40, max_value=2 ** 40)),
 )
 
-#: names that exercise separators and non-identifier characters
+#: names that exercise separators and non-identifier characters; the
+#: exact key "__ndarray__" is reserved by the format (save_checkpoint
+#: rejects it loudly by contract) so the generator must avoid it
 keys = st.text(
     alphabet=st.characters(whitelist_categories=("L", "Nd"),
                            whitelist_characters="._- "),
-    min_size=1, max_size=12)
+    min_size=1, max_size=12).filter(lambda key: key != "__ndarray__")
 
 json_leaves = st.one_of(
     st.none(), st.booleans(), st.integers(min_value=-2 ** 80,

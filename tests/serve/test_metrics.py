@@ -117,15 +117,20 @@ class TestSnapshotRendering:
         assert "(no samples)" in text
         assert "nan" not in text.lower()
 
-    def test_non_finite_samples_do_not_poison_percentiles(self):
+    def test_non_finite_samples_are_dropped_at_observe(self):
         registry = MetricsRegistry()
         histogram = registry.histogram("latency_ms")
         histogram.observe(float("nan"))
+        histogram.observe(float("inf"))
         histogram.observe(3.0)
         stats = registry.snapshot().histograms["latency_ms"]
-        assert stats.count == 2  # lifetime count keeps the NaN
-        assert stats.p50 == 3.0  # percentiles ignore it
-        assert "nan" not in format_snapshot(registry.snapshot()).lower()
+        assert stats.count == 1      # non-finite never enter the window
+        assert stats.dropped == 2    # ... but the drops are counted
+        assert stats.p50 == 3.0
+        snapshot = registry.snapshot()
+        assert snapshot.counters[
+            "dropped_samples{histogram=latency_ms}"] == 2
+        assert "nan" not in format_snapshot(snapshot).lower()
 
     def test_stages_section_rendered(self):
         from repro import obs
