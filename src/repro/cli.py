@@ -279,14 +279,39 @@ def cmd_serve(args) -> int:
                          answer_ttl=args.answer_ttl,
                          default_deadline=args.deadline,
                          num_shards=getattr(args, "shards", 0),
+                         hedge_shards=args.hedge,
                          http_port=args.http_port,
                          http_host=args.http_host)
+    gateway = None
     with ServeRuntime(model, kg=splits.train, index=index,
                       config=config) as runtime:
+        if args.gateway or args.tenant or args.tenant_file:
+            from .gateway import (Gateway, GatewayConfig,
+                                  load_tenant_configs, parse_tenant_spec)
+            tenants = [parse_tenant_spec(spec)
+                       for spec in (args.tenant or [])]
+            if args.tenant_file:
+                tenants.extend(load_tenant_configs(args.tenant_file))
+            # explicit tenants => strict (unknown names are rejected);
+            # bare --gateway => one open default tenant, the gateway is
+            # a pure inflight-bounding, deadline-shedding layer
+            gw_config = GatewayConfig(tenants=tuple(tenants),
+                                      default_tenant=None,
+                                      default_deadline=args.deadline) \
+                if tenants else GatewayConfig(
+                    default_deadline=args.deadline)
+            gateway = Gateway(runtime, gw_config,
+                              compile_fn=engine.compile)
+            described = ", ".join(
+                f"{t.name} (rate={t.rate}/s weight={t.weight})"
+                for t in tenants) or "default (unlimited)"
+            print(f"gateway: admission control on — tenants: {described}")
         if runtime.http_server is not None:
             url = runtime.http_server.url
             print(f"telemetry endpoints: {url}/metrics  {url}/healthz  "
                   f"{url}/statusz")
+            if gateway is not None:
+                print(f"query endpoint: POST {url}/v1/query")
         if args.watch:
             runtime.watch(weights, interval=args.watch_interval,
                           expect={"dataset": args.dataset,
@@ -326,6 +351,8 @@ def cmd_serve(args) -> int:
                     time.sleep(1.0)
             except KeyboardInterrupt:
                 print()
+        if gateway is not None:
+            gateway.close()
     return 0
 
 
@@ -345,6 +372,9 @@ def cmd_stats(args) -> int:
             payload = json.loads(response.read().decode("utf-8"))
     except (URLError, OSError) as exc:
         raise SystemExit(f"cannot reach {target}/statusz: {exc}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SystemExit(f"{target}/statusz did not return JSON "
+                         f"(not a repro server?): {exc}") from exc
     health = payload.get("health")
     if health is not None:
         state = "ok" if health.get("ok") else "UNHEALTHY"
@@ -521,6 +551,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "/healthz, and /statusz on this port (0 = pick "
                         "an ephemeral port)")
     p.add_argument("--http-host", default="127.0.0.1")
+    p.add_argument("--gateway", action="store_true",
+                   help="front the runtime with the admission gateway "
+                        "(rate limits, fair scheduling, deadline "
+                        "shedding; enables POST /v1/query on the HTTP "
+                        "port)")
+    p.add_argument("--tenant", action="append", metavar="SPEC",
+                   help="tenant spec name[:rate[:burst[:weight"
+                        "[:max_queue]]]] (repeatable; implies "
+                        "--gateway; unknown tenants are then rejected)")
+    p.add_argument("--tenant-file", type=pathlib.Path, default=None,
+                   help="JSON file with a list of tenant configs "
+                        "(implies --gateway)")
+    p.add_argument("--hedge", action="store_true",
+                   help="hedge straggling shard requests with a "
+                        "parent-side duplicate (needs --shards > 0)")
     p.add_argument("--hold", action="store_true",
                    help="after the demo workload, keep the runtime (and "
                         "its HTTP endpoints) alive until Ctrl-C")

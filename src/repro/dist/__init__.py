@@ -21,7 +21,8 @@ from .plan import (
     dist_available,
     partition_rows,
 )
-from .pool import DistError, ShardWorkerPool, WorkerCrash, WorkerRole
+from .pool import (DistError, HedgeConfig, HedgePolicy, ShardWorkerPool,
+                   WorkerCrash, WorkerRole)
 from .ranker import RankWorkerRole, ShardedRanker
 from .scorer import ArcShardScorer, ShardScorer
 from .trainer import ShardedTrainer, TrainWorkerRole
@@ -30,6 +31,8 @@ __all__ = [
     "ArcShardScorer",
     "DistError",
     "EntityShardPlan",
+    "HedgeConfig",
+    "HedgePolicy",
     "RankWorkerRole",
     "ShardRange",
     "ShardScorer",

@@ -34,6 +34,18 @@ swimlanes nested inside the dispatching request.  Telemetry riding on a
 *stale* reply is discarded with the reply — a respawned worker's
 re-computation is merged exactly once, never double-counted.
 
+Hedged dispatch: a straggling shard reply (a worker stalled by the OS
+scheduler, a cold page, or a SIGKILL) can stall the whole gather.  When
+a :class:`HedgePolicy` is installed the parent *duplicates* the
+straggler's work after a p95-derived delay — computing the same shard
+block in-process from the shared-memory table — and the first reply
+wins.  The loser is never merged: a late worker reply is discarded by
+the existing stale-sequence-number machinery (together with its
+piggybacked telemetry, so each shard's work is counted exactly once),
+and a losing hedge result is simply dropped.  Outcomes are counted as
+``hedges{outcome=launched|worker_win|hedge_win|hedge_error}`` plus
+per-shard ``hedge_wins{shard=}``.
+
 Shutdown is graceful-then-firm: a stop message, a bounded ``join``, then
 ``terminate``/``kill`` for stragglers, and queue teardown — tests assert
 no orphan processes and no leaked segments after :meth:`close`.
@@ -44,15 +56,18 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import threading
 import time
 import traceback
+from dataclasses import dataclass
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Span, Tracer
 
-__all__ = ["WorkerRole", "ShardWorkerPool", "WorkerCrash", "DistError"]
+__all__ = ["WorkerRole", "ShardWorkerPool", "WorkerCrash", "DistError",
+           "HedgeConfig", "HedgePolicy"]
 
 #: how long a worker gets to finish cleanly at close() before terminate()
 _STOP_GRACE = 5.0
@@ -66,6 +81,62 @@ class DistError(RuntimeError):
 
 class WorkerCrash(RuntimeError):
     """Raised in tests/injection to simulate a hard worker death."""
+
+
+@dataclass(frozen=True)
+class HedgeConfig:
+    """Knobs of straggler hedging (see :class:`HedgePolicy`)."""
+
+    #: hedge when a reply is this multiple of the p95 overdue
+    delay_factor: float = 1.5
+    #: replies observed before the p95 is trusted (no hedging earlier)
+    min_samples: int = 16
+    #: clamp of the derived delay, in seconds
+    min_delay: float = 0.002
+    max_delay: float = 2.0
+    #: override: hedge after exactly this many seconds (tests; bypasses
+    #: the p95 derivation and ``min_samples`` warm-up entirely)
+    fixed_delay: float | None = None
+    #: sliding window of reply-latency samples behind the p95
+    window: int = 256
+
+
+class HedgePolicy:
+    """When (p95-derived delay) and how (a parent-side duplicate) to
+    hedge a straggling shard request.
+
+    ``compute(index, payload)`` must return a reply *bitwise identical*
+    to what worker ``index`` would return for ``payload`` — the ranker
+    guarantees this by scoring the very same shared-memory row block
+    with the very same scorer (see ``ShardedRanker._hedge_compute``).
+    ``observe``/``delay`` maintain the sliding latency window; both are
+    lock-guarded because gathers and hedge threads overlap.
+    """
+
+    def __init__(self, compute, config: HedgeConfig | None = None):
+        self.compute = compute
+        self.config = config or HedgeConfig()
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+            if len(self._samples) > self.config.window:
+                del self._samples[:-self.config.window]
+
+    def delay(self) -> float | None:
+        """Seconds to wait before hedging; None = not enough signal yet."""
+        cfg = self.config
+        if cfg.fixed_delay is not None:
+            return cfg.fixed_delay
+        with self._lock:
+            if len(self._samples) < cfg.min_samples:
+                return None
+            ordered = sorted(self._samples)
+            p95 = ordered[int(0.95 * (len(ordered) - 1))]
+        return min(max(p95 * cfg.delay_factor, cfg.min_delay),
+                   cfg.max_delay)
 
 
 class WorkerRole:
@@ -231,13 +302,19 @@ class ShardWorkerPool:
         registry (the serving runtime does) to surface per-shard
         counters next to the serving metrics; defaults to a pool-local
         registry exposed as :attr:`metrics`.
+    hedge:
+        Optional :class:`HedgePolicy` duplicating straggler requests in
+        the parent; also attachable after construction via :attr:`hedge`
+        (the ranker does, since the policy's compute closure needs the
+        plan the ranker builds around the pool).
     """
 
     def __init__(self, roles: list[WorkerRole],
                  start_method: str | None = None,
                  start_timeout: float = 60.0, respawn: bool = True,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 hedge: HedgePolicy | None = None):
         if not roles:
             raise ValueError("need at least one worker role")
         self._ctx = mp.get_context(start_method or "spawn")
@@ -245,6 +322,9 @@ class ShardWorkerPool:
         self._respawn_enabled = respawn
         self._tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.hedge = hedge
+        self._hedge_executor = None
+        self._hedge_lock = threading.Lock()
         self.respawns = 0
         self._seq = 0
         #: seq -> (span current at dispatch, tracing-enabled flag)
@@ -336,9 +416,41 @@ class ShardWorkerPool:
         return self._trace_ctx.get(seq, (None, False))[1]
 
     def _collect(self, index: int, seq: int, payload, deadline):
-        """Wait for worker ``index``'s reply to ``seq``; heal crashes."""
+        """Wait for worker ``index``'s reply to ``seq``; heal crashes.
+
+        With a :attr:`hedge` policy installed, a reply overdue past the
+        policy's delay triggers a parent-side duplicate computation and
+        the first finisher wins.  A worker reply that loses stays in its
+        queue and is discarded by the ``got_seq != seq`` check of a
+        *later* collect — together with its telemetry, which is how the
+        merged registry counts each shard's work exactly once.
+        """
+        policy = self.hedge
+        hedge_delay = policy.delay() if policy is not None else None
+        hedge_future = None
+        wait_start = time.monotonic()
         while True:
             worker = self._workers[index]
+            if (hedge_future is None and hedge_delay is not None
+                    and time.monotonic() - wait_start >= hedge_delay):
+                hedge_future = self._hedge_pool().submit(
+                    self._run_hedge, policy, index, payload)
+                self.metrics.counter("hedges", outcome="launched").inc()
+            if hedge_future is not None and hedge_future.done():
+                try:
+                    reply, started, ended = hedge_future.result()
+                except Exception:
+                    # a broken hedge never breaks the request — fall back
+                    # to waiting for the worker (which may also respawn)
+                    self.metrics.counter("hedges",
+                                         outcome="hedge_error").inc()
+                    hedge_future, hedge_delay = None, None
+                else:
+                    self.metrics.counter("hedges",
+                                         outcome="hedge_win").inc()
+                    self.metrics.counter("hedge_wins", shard=index).inc()
+                    policy.observe(ended - started)
+                    return reply, (started, ended)
             try:
                 kind, got_seq, detail = worker.result_q.get(timeout=_POLL)
             except queue_mod.Empty:
@@ -351,17 +463,38 @@ class ShardWorkerPool:
                     raise DistError(f"shard worker {index} timed out")
                 continue
             if got_seq != seq:
-                # stale reply from before a respawn: the result AND its
-                # piggybacked telemetry are dropped together, so a
-                # superseded computation is never merged (no
-                # double-counted deltas, no phantom spans)
+                # stale reply from before a respawn or a lost hedge race:
+                # the result AND its piggybacked telemetry are dropped
+                # together, so a superseded computation is never merged
+                # (no double-counted deltas, no phantom spans)
                 continue
             if kind == "error":
                 raise DistError(f"shard worker {index} failed:\n{detail}")
             reply, started, ended, telemetry = detail
             if telemetry is not None:
                 self._merge_telemetry(seq, telemetry)
+            if policy is not None:
+                policy.observe(ended - started)
+                if hedge_future is not None:
+                    self.metrics.counter("hedges",
+                                         outcome="worker_win").inc()
             return reply, (started, ended)
+
+    @staticmethod
+    def _run_hedge(policy: HedgePolicy, index: int, payload):
+        started = time.perf_counter()
+        reply = policy.compute(index, payload)
+        return reply, started, time.perf_counter()
+
+    def _hedge_pool(self):
+        """Lazy executor for parent-side hedge computations."""
+        with self._hedge_lock:
+            if self._hedge_executor is None:
+                from concurrent.futures import ThreadPoolExecutor
+                self._hedge_executor = ThreadPoolExecutor(
+                    max_workers=max(1, len(self._workers)),
+                    thread_name_prefix="dist-hedge")
+            return self._hedge_executor
 
     def _merge_telemetry(self, seq: int, telemetry) -> None:
         """Fold one reply's piggyback into the parent registry/tracer."""
@@ -391,6 +524,8 @@ class ShardWorkerPool:
         if self._closed:
             return
         self._closed = True
+        if self._hedge_executor is not None:
+            self._hedge_executor.shutdown(wait=True)
         for worker in self._workers:
             worker.drain()
             worker.stop()

@@ -41,7 +41,8 @@ from ..obs.trace import Tracer, get_tracer
 from .merge import merge_topk
 from .plan import EntityShardPlan, SharedArraySpec, ShardRange, \
     dist_available
-from .pool import ShardWorkerPool, WorkerCrash, WorkerRole
+from .pool import HedgeConfig, HedgePolicy, ShardWorkerPool, WorkerCrash, \
+    WorkerRole
 from .scorer import ShardScorer
 
 __all__ = ["RankWorkerRole", "ShardedRanker"]
@@ -105,7 +106,8 @@ class ShardedRanker:
     def __init__(self, model, num_shards: int,
                  start_method: str | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 hedge: HedgeConfig | None = None):
         if num_shards < 2:
             raise ValueError("sharded execution needs >= 2 shards")
         spec = model.sharding_spec()
@@ -114,12 +116,15 @@ class ShardedRanker:
                              f"support sharding (no sharding_spec)")
         points, scorer = spec
         self.model = model
+        self._scorer = scorer
         self.tracer = tracer if tracer is not None else get_tracer()
         self.plan = EntityShardPlan(points, num_shards)
         roles = [RankWorkerRole(*self.plan.shard_spec(i), scorer, index=i)
                  for i in range(self.plan.num_shards)]
         self.pool = ShardWorkerPool(roles, start_method=start_method,
                                     tracer=self.tracer, metrics=metrics)
+        if hedge is not None:
+            self.pool.hedge = HedgePolicy(self._hedge_compute, hedge)
         self._closed = False
 
     @property
@@ -132,7 +137,8 @@ class ShardedRanker:
     def for_model(cls, model, num_shards: int,
                   start_method: str | None = None,
                   tracer: Tracer | None = None,
-                  metrics: MetricsRegistry | None = None
+                  metrics: MetricsRegistry | None = None,
+                  hedge: HedgeConfig | None = None
                   ) -> "ShardedRanker | None":
         """Ranker, or None when sharding is unsupported here.
 
@@ -146,7 +152,7 @@ class ShardedRanker:
         if model.sharding_spec() is None:
             return None
         return cls(model, num_shards, start_method=start_method,
-                   tracer=tracer, metrics=metrics)
+                   tracer=tracer, metrics=metrics, hedge=hedge)
 
     @property
     def num_shards(self) -> int:
@@ -198,6 +204,26 @@ class ShardedRanker:
                 tracer.record("shard.compute", interval[0], interval[1],
                               parent=parent, shard=index)
         return replies, timings
+
+    def _hedge_compute(self, index: int, payload: dict):
+        """Parent-side duplicate of worker ``index``'s computation.
+
+        Scores the *same* shared-memory row block with the *same* scorer
+        the worker uses and applies the same local-top-k + offset math,
+        so the reply is bitwise identical to what the worker would send
+        — hedging can change latency, never results.  Crash-injection
+        keys in the payload are deliberately ignored: the hedge is the
+        healthy duplicate.
+        """
+        shard = self.plan.ranges[index]
+        points = self.plan.table.ndarray[shard.start:shard.stop]
+        distances = self._scorer.score(points, payload["payload"])
+        if payload["mode"] == "all":
+            return {"distances": distances}
+        from ..core.topk import topk_rows
+        local = topk_rows(distances, payload["k"])
+        vals = np.take_along_axis(distances, local, axis=-1)
+        return {"ids": local + shard.start, "vals": vals}
 
     # ------------------------------------------------------------------
     def refresh(self) -> None:

@@ -1,0 +1,21 @@
+"""``repro.gateway`` — the admission-controlled serving front door.
+
+Production traffic control in front of :class:`repro.serve.ServeRuntime`:
+per-tenant token-bucket rate limiting, weighted fair scheduling across
+tenants, strict priority bands (interactive over batch), deadline-aware
+shedding *before* the micro-batcher, bounded queues surfacing
+backpressure as 429 + ``Retry-After`` through the serve HTTP layer, and
+(via ``repro.dist``) hedged dispatch of straggling shard requests.
+"""
+
+from .admission import FairScheduler, QueuedRequest
+from .gateway import Gateway, GatewayConfig, GatewayRejected
+from .tenancy import (PRIORITIES, TenantConfig, TokenBucket,
+                      load_tenant_configs, parse_tenant_spec)
+
+__all__ = [
+    "Gateway", "GatewayConfig", "GatewayRejected",
+    "FairScheduler", "QueuedRequest",
+    "TenantConfig", "TokenBucket", "PRIORITIES",
+    "parse_tenant_spec", "load_tenant_configs",
+]

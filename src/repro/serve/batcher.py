@@ -31,14 +31,37 @@ class ServeFuture:
         self._event = threading.Event()
         self._result: Any = None
         self._error: BaseException | None = None
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable[["ServeFuture"], None]] = []
 
     def set_result(self, result: Any) -> None:
         self._result = result
-        self._event.set()
+        self._fire()
 
     def set_exception(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._fire()
+
+    def _fire(self) -> None:
+        with self._lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self,
+                          callback: Callable[["ServeFuture"], None]) -> None:
+        """Run ``callback(self)`` once resolved (immediately if done).
+
+        Callbacks run on whichever thread resolves the future (or the
+        registering thread when already done) — keep them quick, e.g. a
+        ``call_soon_threadsafe`` hop (the gateway's completion path).
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self) -> bool:
         return self._event.is_set()

@@ -1,5 +1,5 @@
 """HTTP exposition of serving telemetry: ``/metrics``, ``/healthz``,
-``/statusz``.
+``/statusz`` — and, when a gateway is mounted, the ``/v1/query`` door.
 
 A tiny stdlib-only (:mod:`http.server`) endpoint the serving runtime
 mounts when ``ServeConfig.http_port`` is set, so an external scraper —
@@ -17,6 +17,17 @@ process from outside:
 * ``GET /statusz``  — the full JSON snapshot (model version, shard
   liveness, cache hit rates, stage timings); ``cli stats host:port``
   pretty-prints it.
+* ``POST /v1/query`` — present when a :class:`repro.gateway.Gateway`
+  registered itself via :meth:`TelemetryHTTPServer.set_query_fn`.  The
+  JSON body names the query (``sparql``), tenant, priority, ``top_k``
+  and ``deadline_ms``; shed requests come back as **429** with a
+  ``Retry-After`` header, so standard client back-off loops work
+  unmodified.  Without a gateway the path is 404 like any other.
+
+Errors are machine-readable: unknown paths, bad methods and malformed
+bodies all return a JSON object (``{"error": ...}``) with correct
+``Content-Type``/``Content-Length`` headers — a load balancer or SDK
+never has to scrape free-text from this server.
 
 Requests are served by a :class:`ThreadingHTTPServer` on a daemon
 thread, so scrapes never sit on the query path; each scrape takes one
@@ -154,10 +165,16 @@ class TelemetryHTTPServer:
     host, port:
         Bind address.  ``port=0`` picks an ephemeral port, available as
         :attr:`port` after construction (tests rely on this).
+    query_fn:
+        Optional ``dict -> (status, headers, body_dict)`` handling
+        ``POST /v1/query`` submissions (a gateway's
+        :meth:`~repro.gateway.Gateway.handle_http`); also attachable
+        later via :meth:`set_query_fn`.
     """
 
     def __init__(self, snapshot_fn: Callable[[], StatsSnapshot],
-                 health_fn=None, host: str = "127.0.0.1", port: int = 0):
+                 health_fn=None, host: str = "127.0.0.1", port: int = 0,
+                 query_fn=None):
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -170,8 +187,15 @@ class TelemetryHTTPServer:
                 except BrokenPipeError:  # client went away mid-reply
                     pass
 
+            def do_POST(self):  # noqa: N802 (stdlib handler contract)
+                try:
+                    outer._route_post(self)
+                except BrokenPipeError:
+                    pass
+
         self._snapshot_fn = snapshot_fn
         self._health_fn = health_fn
+        self._query_fn = query_fn
         self._server = ThreadingHTTPServer((host, port), Handler)
         self._server.daemon_threads = True
         self.host = self._server.server_address[0]
@@ -208,14 +232,55 @@ class TelemetryHTTPServer:
             body = json.dumps(payload, default=str) + "\n"
             self._reply(handler, 200, body, "application/json")
         else:
-            self._reply(handler, 404, "not found\n", "text/plain")
+            self._json_error(handler, 404, f"no such path: {path}")
+
+    def _route_post(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path != "/v1/query":
+            self._json_error(handler, 404, f"no such path: {path}")
+            return
+        if self._query_fn is None:
+            self._json_error(handler, 404,
+                            "no gateway mounted (start with --gateway)")
+            return
+        try:
+            length = int(handler.headers.get("Content-Length", ""))
+        except ValueError:
+            self._json_error(handler, 411,
+                            "Content-Length header required")
+            return
+        raw = handler.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._json_error(handler, 400,
+                            f"body is not valid JSON: {exc}")
+            return
+        try:
+            status, headers, body = self._query_fn(payload)
+        except Exception as exc:  # a handler bug must not kill the thread
+            self._json_error(handler, 500, f"internal error: {exc}")
+            return
+        self._reply(handler, status, json.dumps(body) + "\n",
+                    "application/json", headers=headers)
+
+    def set_query_fn(self, query_fn) -> None:
+        """Mount (or unmount with None) the ``POST /v1/query`` handler."""
+        self._query_fn = query_fn
+
+    def _json_error(self, handler, status: int, message: str) -> None:
+        self._reply(handler, status, json.dumps({"error": message}) + "\n",
+                    "application/json")
 
     @staticmethod
-    def _reply(handler, status: int, body: str, content_type: str) -> None:
+    def _reply(handler, status: int, body: str, content_type: str,
+               headers: dict | None = None) -> None:
         encoded = body.encode("utf-8")
         handler.send_response(status)
         handler.send_header("Content-Type", content_type)
         handler.send_header("Content-Length", str(len(encoded)))
+        for name, value in (headers or {}).items():
+            handler.send_header(name, str(value))
         handler.end_headers()
         handler.wfile.write(encoded)
 

@@ -73,6 +73,11 @@ class ServeConfig:
     #: worker processes; silently falls back to in-process when the
     #: model or platform does not support sharding)
     num_shards: int = 0
+    #: hedge straggling shard requests: duplicate a reply overdue past
+    #: ``hedge_delay_factor`` × the p95 reply latency in the parent,
+    #: first reply wins (bitwise-identical results either way)
+    hedge_shards: bool = False
+    hedge_delay_factor: float = 1.5
     #: mount the telemetry HTTP server (``/metrics`` ``/healthz``
     #: ``/statusz``) on this port; None = no HTTP, 0 = ephemeral port
     #: (the bound port is ``runtime.http_server.port``)
@@ -187,12 +192,15 @@ class ServeRuntime:
         self.metrics = MetricsRegistry(self.config.histogram_window)
         self._ranker = None
         if self.config.num_shards >= 2:
-            from ..dist import ShardedRanker
+            from ..dist import HedgeConfig, ShardedRanker
+            hedge = HedgeConfig(
+                delay_factor=self.config.hedge_delay_factor) \
+                if self.config.hedge_shards else None
             # the runtime's registry doubles as the pool's merge target,
             # so per-shard worker metrics surface in stats()/ /metrics
             self._ranker = ShardedRanker.for_model(
                 model, self.config.num_shards, tracer=self.tracer,
-                metrics=self.metrics)
+                metrics=self.metrics, hedge=hedge)
         self.metrics.gauge("shards").set(
             self._ranker.num_shards if self._ranker is not None else 0)
         self._latency = self.metrics.histogram("latency_ms")
@@ -255,6 +263,12 @@ class ServeRuntime:
         self.metrics.counter("answer_cache_misses").inc()
         if deadline is None:
             deadline = self.config.default_deadline
+        # deadline arithmetic invariant: relative deadlines become
+        # absolute on self._clock (monotonic) exactly once, HERE, and are
+        # only ever compared against the same clock downstream (batcher
+        # flush, _execute_batch overrun check).  Wall-clock time.time()
+        # never enters deadline math anywhere in the serve/dist stack —
+        # an NTP step must not expire (or resurrect) in-flight requests.
         request = _Pending(
             query=canonical, top_k=top_k, cache_key=key,
             group_key=batch_key(canonical),

@@ -1,0 +1,157 @@
+"""Hedged shard dispatch: delay policy, result parity, exactly-once.
+
+The policy unit tests are pure and process-free.  The live tests run a
+2-shard pool with ``fixed_delay=0`` (hedge every request immediately) —
+the harshest race — and assert that first-reply-wins never changes a
+result and that each shard's work is counted exactly once even when
+workers are killed mid-hedge.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import topk_rows
+from repro.dist import ShardedRanker, merge_topk
+from repro.dist.pool import HedgeConfig, HedgePolicy
+
+from .conftest import requires_shm
+
+pytestmark = [pytest.mark.dist, pytest.mark.gateway]
+
+
+class TestHedgePolicy:
+    def test_fixed_delay_bypasses_warmup(self):
+        policy = HedgePolicy(None, HedgeConfig(fixed_delay=0.125))
+        assert policy.delay() == 0.125  # zero samples observed
+
+    def test_no_delay_until_min_samples(self):
+        policy = HedgePolicy(None, HedgeConfig(min_samples=4))
+        for _ in range(3):
+            policy.observe(0.1)
+            assert policy.delay() is None
+        policy.observe(0.1)
+        assert policy.delay() is not None
+
+    def test_delay_is_p95_times_factor(self):
+        config = HedgeConfig(min_samples=4, delay_factor=2.0,
+                             min_delay=0.0, max_delay=10.0)
+        policy = HedgePolicy(None, config)
+        for value in (0.1, 0.1, 0.1, 0.1):
+            policy.observe(value)
+        assert policy.delay() == pytest.approx(0.2)
+
+    def test_delay_clamps_to_bounds(self):
+        config = HedgeConfig(min_samples=2, min_delay=0.01, max_delay=0.5)
+        fast = HedgePolicy(None, config)
+        for _ in range(4):
+            fast.observe(1e-6)
+        assert fast.delay() == 0.01
+        slow = HedgePolicy(None, config)
+        for _ in range(4):
+            slow.observe(30.0)
+        assert slow.delay() == 0.5
+
+    def test_window_slides_old_samples_out(self):
+        config = HedgeConfig(min_samples=2, window=2, delay_factor=1.0,
+                             min_delay=0.0, max_delay=100.0)
+        policy = HedgePolicy(None, config)
+        policy.observe(50.0)  # will slide out of the window
+        policy.observe(0.2)
+        policy.observe(0.2)
+        assert policy.delay() == pytest.approx(0.2)
+
+
+@pytest.fixture(scope="module")
+def hedged(model):
+    ranker = ShardedRanker.for_model(model, 2,
+                                     hedge=HedgeConfig(fixed_delay=0.0))
+    assert ranker is not None
+    yield ranker
+    ranker.close()
+
+
+@pytest.fixture(scope="module")
+def embedding(model, queries):
+    return model.embed_batch(queries)
+
+
+@requires_shm
+class TestHedgedParity:
+    @settings(max_examples=20, deadline=None)
+    @given(k=st.integers(min_value=1, max_value=60))
+    def test_first_reply_wins_never_changes_topk(self, model, hedged,
+                                                 embedding, k):
+        """Property: hedging is invisible in results for any k.
+
+        With ``fixed_delay=0`` every request races a parent-side mirror
+        against the worker, so 20 examples are 40 races — whoever wins,
+        ids AND values must be bitwise identical to the single-process
+        reference.
+        """
+        distances = model.distance_to_all(embedding).data
+        expect_ids = topk_rows(distances, k)
+        ids, vals = hedged.topk(embedding, k)
+        assert np.array_equal(ids, expect_ids)
+        assert np.array_equal(
+            vals, np.take_along_axis(distances, expect_ids, axis=-1))
+
+    def test_hedges_were_actually_launched(self, hedged):
+        counters = hedged.pool.metrics.snapshot().counters
+        assert counters.get("hedges{outcome=launched}", 0) > 0
+
+
+@requires_shm
+class TestExactlyOnceTelemetry:
+    def test_kill_during_hedge_counts_each_shard_once(self, model,
+                                                      queries):
+        """``rank_requests{shard=k} + hedge_wins{shard=k} == N`` even
+        when workers die mid-hedge.
+
+        A lost worker reply (stale seq) is dropped together with its
+        piggybacked telemetry, and a crash-after-compute dies before its
+        reply ships — either way a superseded computation must never be
+        merged, so the two counters partition the N requests exactly.
+        """
+        ranker = ShardedRanker.for_model(
+            model, 2, hedge=HedgeConfig(fixed_delay=0.0))
+        assert ranker is not None
+        try:
+            metrics = ranker.pool.metrics
+
+            def shard_counts():
+                counters = metrics.snapshot().counters
+                return {(name, shard): counters.get(
+                            f"{name}{{shard={shard}}}", 0)
+                        for name in ("rank_requests", "hedge_wins")
+                        for shard in range(2)}
+
+            embedding = model.embed_batch(queries)
+            expect_ids = topk_rows(
+                model.distance_to_all(embedding).data, 5)
+            before = shard_counts()
+            for _ in range(3):  # plain hedged requests
+                ids, _ = ranker.topk(embedding, 5)
+                assert np.array_equal(ids, expect_ids)
+            payload = model.ranking_payload(embedding)
+            request = {"mode": "topk", "k": 5, "payload": payload}
+            for victim, mode in ((0, "before"), (1, "after")):
+                crashing = [dict(request) for _ in range(2)]
+                crashing[victim]["crash"] = mode
+                resend = [dict(request) for _ in range(2)]
+                seq = ranker.pool.dispatch(crashing)
+                replies, _ = ranker.pool.gather(seq, resend)
+                ids, _ = merge_topk([r["ids"] for r in replies],
+                                    [r["vals"] for r in replies], 5)
+                assert np.array_equal(ids, expect_ids)
+            after = shard_counts()
+            for shard in range(2):
+                handled = (after[("rank_requests", shard)]
+                           - before[("rank_requests", shard)])
+                wins = (after[("hedge_wins", shard)]
+                        - before[("hedge_wins", shard)])
+                assert handled + wins == 5, \
+                    f"shard {shard}: {handled} worker + {wins} hedge"
+        finally:
+            ranker.close()

@@ -1,0 +1,52 @@
+"""Shared fixtures for the gateway tests.
+
+The runtime fixtures mirror ``tests/serve/conftest.py`` (tiny
+deterministic graph, small model) so gateway tests measure admission
+behaviour, not model cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import HalkModel
+from repro.kg import KnowledgeGraph
+from repro.queries import Entity, Projection
+
+
+@pytest.fixture(scope="module")
+def tiny_kg() -> KnowledgeGraph:
+    rng = np.random.default_rng(11)
+    triples = {(int(rng.integers(30)), int(rng.integers(4)),
+                int(rng.integers(30))) for _ in range(180)}
+    return KnowledgeGraph(30, 4, sorted(triples))
+
+
+@pytest.fixture(scope="module")
+def model(tiny_kg) -> HalkModel:
+    return HalkModel(tiny_kg, ModelConfig(embedding_dim=8, hidden_dim=16,
+                                          seed=0))
+
+
+@pytest.fixture(scope="module")
+def queries(tiny_kg):
+    """Distinct one-hop queries (distinct → no answer-cache collisions)."""
+    seen, out = set(), []
+    for head, rel, _ in tiny_kg:
+        if (head, rel) not in seen:
+            seen.add((head, rel))
+            out.append(Projection(rel, Entity(head)))
+    return out
+
+
+class ManualClock:
+    """Injectable monotonic clock tests advance explicitly."""
+
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds

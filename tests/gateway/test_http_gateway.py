@@ -1,0 +1,134 @@
+"""The gateway's HTTP surface: POST /v1/query end to end.
+
+Every test binds an ephemeral loopback port (same skip contract as
+``tests/serve/test_http.py``); the compile hook is a tiny fake — the
+body text is an index into the shared query fixture — so the tests
+exercise routing, admission, and error bodies, not SPARQL parsing.
+"""
+
+import contextlib
+import json
+import socket
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+import pytest
+
+from repro.gateway import Gateway, GatewayConfig, TenantConfig
+from repro.serve import ServeConfig, ServeRuntime
+
+pytestmark = [pytest.mark.gateway, pytest.mark.http]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _require_loopback_bind():
+    """Skip the module when no loopback port can be bound at all."""
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+    except OSError as exc:
+        pytest.skip(f"cannot bind a loopback port here: {exc}")
+
+
+def post(url: str, body, raw: bytes | None = None):
+    """POST JSON (or raw bytes) and return (status, headers, json body)."""
+    data = raw if raw is not None else json.dumps(body).encode()
+    request = Request(url + "/v1/query", data=data,
+                      headers={"Content-Type": "application/json"})
+    try:
+        with urlopen(request, timeout=30) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except HTTPError as exc:
+        payload = exc.read()
+        return (exc.code, dict(exc.headers),
+                json.loads(payload) if payload else {})
+
+
+@contextlib.contextmanager
+def serving(model, kg, queries, gw_config=None, compile_fn="index"):
+    config = ServeConfig(max_batch_size=4, flush_timeout=0.002,
+                         num_workers=1, http_port=0)
+    if compile_fn == "index":
+        compile_fn = lambda text: queries[int(text)]  # noqa: E731
+    with ServeRuntime(model, kg=kg, config=config) as runtime:
+        with Gateway(runtime, gw_config, compile_fn=compile_fn) as gateway:
+            yield runtime, gateway, runtime.http_server.url
+
+
+class TestQueryEndpoint:
+    def test_happy_path_matches_direct_answer(self, model, tiny_kg,
+                                              queries):
+        with serving(model, tiny_kg, queries) as (runtime, _, url):
+            status, headers, body = post(url, {"sparql": "0", "top_k": 3})
+            direct = runtime.answer(queries[0], top_k=3)
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert int(headers["Content-Length"]) > 0
+        assert body["entity_ids"] == direct.entity_ids
+        assert body["tenant"] == "default"
+        assert body["latency_ms"] >= 0.0
+
+    def test_missing_sparql_is_400(self, model, tiny_kg, queries):
+        with serving(model, tiny_kg, queries) as (_, _, url):
+            status, headers, body = post(url, {"top_k": 3})
+        assert status == 400
+        assert headers["Content-Type"] == "application/json"
+        assert "sparql" in body["error"]
+
+    def test_bad_priority_and_top_k_are_400(self, model, tiny_kg, queries):
+        with serving(model, tiny_kg, queries) as (_, _, url):
+            status, _, body = post(
+                url, {"sparql": "0", "priority": "turbo"})
+            assert status == 400 and "priority" in body["error"]
+            status, _, body = post(url, {"sparql": "0", "top_k": 0})
+            assert status == 400 and "top_k" in body["error"]
+
+    def test_compile_failure_is_400(self, model, tiny_kg, queries):
+        with serving(model, tiny_kg, queries) as (_, _, url):
+            status, _, body = post(url, {"sparql": "not-an-int"})
+        assert status == 400
+        assert "cannot compile" in body["error"]
+
+    def test_malformed_json_body_is_400(self, model, tiny_kg, queries):
+        with serving(model, tiny_kg, queries) as (_, _, url):
+            status, headers, body = post(url, None, raw=b"{nope")
+        assert status == 400
+        assert headers["Content-Type"] == "application/json"
+        assert "JSON" in body["error"]
+
+    def test_no_compiler_is_503(self, model, tiny_kg, queries):
+        with serving(model, tiny_kg, queries,
+                     compile_fn=None) as (_, _, url):
+            status, _, body = post(url, {"sparql": "0"})
+        assert status == 503
+        assert "compile" in body["error"]
+
+
+class TestNoGatewayMounted:
+    def test_post_without_gateway_is_404_json(self, model, tiny_kg):
+        config = ServeConfig(max_batch_size=4, num_workers=1, http_port=0)
+        with ServeRuntime(model, kg=tiny_kg, config=config) as runtime:
+            status, headers, body = post(
+                runtime.http_server.url, {"sparql": "0"})
+        assert status == 404
+        assert headers["Content-Type"] == "application/json"
+        assert body["error"]
+
+
+class TestOverloadOverHTTP:
+    def test_ratelimit_is_429_with_retry_after_header(self, model,
+                                                      tiny_kg, queries):
+        gw_config = GatewayConfig(
+            tenants=(TenantConfig("slow", rate=0.01, burst=1),),
+            default_tenant=None)
+        with serving(model, tiny_kg, queries, gw_config) as (_, gw, url):
+            first = post(url, {"sparql": "0", "tenant": "slow"})
+            assert first[0] == 200
+            status, headers, body = post(
+                url, {"sparql": "1", "tenant": "slow"})
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        assert body["reason"] == "ratelimit"
+        assert body["retry_after_s"] > 0
+        assert body["tenant"] == "slow"

@@ -1,0 +1,126 @@
+"""Deadline arithmetic regressions: one monotonic clock, zero drift.
+
+The invariant under test: a relative deadline becomes absolute exactly
+once (``clock() + deadline`` at submit) and every later comparison uses
+the same injected clock — wall-clock time (``time.time``) never enters
+the math.  A frozen fake clock makes any violation loud: code that
+consults a real clock sees time pass; code on the injected clock sees
+none.
+"""
+
+import time
+
+import pytest
+
+from repro.queries import Entity, Projection
+from repro.serve import ServeConfig, ServeRuntime
+from repro.serve.batcher import MicroBatcher, ServeRequest
+
+
+class ManualClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def frozen_runtime(model, tiny_kg):
+    """Real runtime on a frozen clock.
+
+    ``max_batch_size=1`` matters: the batcher's flush window runs on the
+    injected clock too, so a frozen clock never flushes an *unfilled*
+    batch — size-1 batches dispatch immediately instead.
+    """
+    clock = ManualClock()
+    config = ServeConfig(max_batch_size=1, num_workers=1,
+                         answer_cache_size=1, embedding_cache_size=1)
+    with ServeRuntime(model, kg=tiny_kg, config=config,
+                      clock=clock) as runtime:
+        yield runtime, clock
+
+
+class TestSingleClockBase:
+    def test_tiny_deadline_survives_queue_hop_unshed(self, frozen_runtime):
+        """1 ms of budget, frozen clock → zero elapses, nothing sheds.
+
+        Any ``time.time()`` (or second ``time.monotonic()`` base) mixed
+        into submit→queue→batch would burn real microseconds against a
+        1 ms budget and shed at least one of these 20 requests.
+        """
+        runtime, _ = frozen_runtime
+        for index in range(20):  # distinct → no answer-cache hits
+            result = runtime.answer(Projection(index % 4, Entity(index)),
+                                    top_k=3, deadline=0.001)
+            assert result.source == "model"
+        counters = runtime.metrics.snapshot().counters
+        assert "deadline_overruns" not in counters
+
+    def test_zero_deadline_expires_at_batch_exactly(self, frozen_runtime):
+        """deadline=0.0 → absolute == now → ``now >= deadline`` at the
+        batch boundary → graceful fallback, not an error."""
+        runtime, _ = frozen_runtime
+        result = runtime.answer(Projection(0, Entity(1)), top_k=3,
+                                deadline=0.0)
+        assert result.source == "exact"  # kg-backed fallback answered
+        counters = runtime.metrics.snapshot().counters
+        assert counters["deadline_overruns"] == 1
+
+    def test_queue_wait_burns_budget(self, model, tiny_kg):
+        """Time spent *queued* counts against the budget.
+
+        An unfilled batch cannot flush while the clock is frozen, so the
+        request waits exactly as long as we say; every nudge exceeds the
+        whole 50 ms budget, so whenever the flush window finally expires
+        the request is past deadline — deterministically shed.
+        """
+        clock = ManualClock()
+        config = ServeConfig(max_batch_size=2, flush_timeout=0.002,
+                             num_workers=1, answer_cache_size=1,
+                             embedding_cache_size=1)
+        with ServeRuntime(model, kg=tiny_kg, config=config,
+                          clock=clock) as runtime:
+            future = runtime.submit(Projection(1, Entity(2)), top_k=3,
+                                    deadline=0.05)
+            stop = time.monotonic() + 10.0
+            while not future.done() and time.monotonic() < stop:
+                clock.advance(0.06)
+                time.sleep(0.01)
+            result = future.result(timeout=1.0)
+            counters = runtime.metrics.snapshot().counters
+        assert result.source == "exact"
+        assert counters["deadline_overruns"] == 1
+
+
+class TestBatcherPreservesDeadline:
+    def test_absolute_deadline_crosses_queue_unchanged(self):
+        """The batcher stores and forwards the absolute deadline
+        bit-for-bit; remaining budget is derivable exactly."""
+        clock = ManualClock(now=500.0)
+        batches = []
+        batcher = MicroBatcher(batches.append, max_batch_size=2,
+                               flush_timeout=10.0, clock=clock).start()
+        try:
+            first = ServeRequest(query="a", top_k=1, cache_key="a",
+                                 group_key="g", deadline=500.25)
+            batcher.submit(first)
+            clock.advance(0.1)  # queue wait, on the injected clock
+            second = ServeRequest(query="b", top_k=1, cache_key="b",
+                                  group_key="g", deadline=500.25)
+            batcher.submit(second)  # batch full → immediate flush
+            stop = time.monotonic() + 5.0
+            while not batches and time.monotonic() < stop:
+                time.sleep(0.002)
+        finally:
+            batcher.close()
+        (batch,) = batches
+        assert [r.deadline for r in batch] == [500.25, 500.25]
+        # enqueued_at is stamped from the same clock: wait is exact
+        assert batch[0].enqueued_at == 500.0
+        assert batch[1].enqueued_at == pytest.approx(500.1)
+        remaining = batch[0].deadline - clock()
+        assert remaining == pytest.approx(0.25 - 0.1)

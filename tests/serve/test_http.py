@@ -8,7 +8,7 @@ skips cleanly instead of erroring.
 import json
 import socket
 from urllib.error import HTTPError
-from urllib.request import urlopen
+from urllib.request import Request, urlopen
 
 import pytest
 
@@ -131,16 +131,68 @@ class TestTelemetryHTTPServer:
         assert rebuilt.counters["rank_requests{shard=0}"] == 3
         assert rebuilt.histograms["latency_ms"].count == 3
 
-    def test_unknown_path_is_404(self, registry):
+    def test_unknown_path_is_404_with_json_body(self, registry):
         with TelemetryHTTPServer(snapshot_fn=registry.snapshot) as server:
             with pytest.raises(HTTPError) as excinfo:
                 urlopen(f"{server.url}/nope", timeout=5)
             assert excinfo.value.code == 404
+            assert excinfo.value.headers["Content-Type"] == \
+                "application/json"
+            raw = excinfo.value.read()
+            assert int(excinfo.value.headers["Content-Length"]) == len(raw)
+            assert "/nope" in json.loads(raw)["error"]
 
     def test_close_is_idempotent(self, registry):
         server = TelemetryHTTPServer(snapshot_fn=registry.snapshot)
         server.close()
         server.close()
+
+
+class TestPostRoute:
+    """POST handling of the telemetry server itself (no gateway)."""
+
+    @staticmethod
+    def _post(url, path, data, headers=None):
+        request = Request(url + path, data=data, headers=headers or {})
+        with pytest.raises(HTTPError) as excinfo:
+            urlopen(request, timeout=5)
+        error = excinfo.value
+        body = json.loads(error.read())
+        assert error.headers["Content-Type"] == "application/json"
+        return error.code, body
+
+    def test_post_unknown_path_is_404_json(self, registry):
+        with TelemetryHTTPServer(snapshot_fn=registry.snapshot) as server:
+            code, body = self._post(server.url, "/nope", b"{}")
+        assert code == 404
+        assert "/nope" in body["error"]
+
+    def test_post_query_without_gateway_is_404_json(self, registry):
+        with TelemetryHTTPServer(snapshot_fn=registry.snapshot) as server:
+            code, body = self._post(server.url, "/v1/query",
+                                    b'{"sparql": "x"}')
+        assert code == 404
+        assert "gateway" in body["error"]
+
+    def test_post_malformed_json_is_400(self, registry):
+        with TelemetryHTTPServer(snapshot_fn=registry.snapshot) as server:
+            server.set_query_fn(lambda payload: (200, {}, {}))
+            code, body = self._post(server.url, "/v1/query", b"{nope")
+        assert code == 400
+        assert "JSON" in body["error"]
+
+    def test_handler_exception_is_500_not_a_dead_thread(self, registry):
+        def boom(payload):
+            raise RuntimeError("handler bug")
+
+        with TelemetryHTTPServer(snapshot_fn=registry.snapshot) as server:
+            server.set_query_fn(boom)
+            code, body = self._post(server.url, "/v1/query", b"{}")
+            assert code == 500
+            assert "handler bug" in body["error"]
+            # the server thread survived the handler exception
+            with urlopen(f"{server.url}/healthz", timeout=5) as response:
+                assert response.status == 200
 
 
 class TestRuntimeMount:
@@ -198,3 +250,35 @@ class TestCliStats:
         probe.close()  # nothing listens on `port` now
         with pytest.raises(SystemExit, match="cannot reach"):
             main(["stats", f"127.0.0.1:{port}", "--timeout", "0.5"])
+
+    def test_cli_stats_non_json_response_errors(self):
+        """Pointing ``stats`` at something that is not a repro server
+        (a proxy error page, say) is one clean line, not a traceback."""
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        from repro.cli import main
+
+        class NotJSON(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (stdlib handler contract)
+                body = b"<html>proxy error</html>"
+                self.send_response(200)
+                self.send_header("Content-Type", "text/html")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        server = HTTPServer(("127.0.0.1", 0), NotJSON)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(SystemExit, match="did not return JSON"):
+                main(["stats", f"127.0.0.1:{server.server_address[1]}",
+                      "--timeout", "5"])
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

@@ -120,6 +120,8 @@ class TestServeCommand:
         assert args.repeat == 3
         assert args.batch_size == 64
         assert not args.stats
+        assert not args.gateway and not args.hedge
+        assert args.tenant is None and args.tenant_file is None
 
     def test_serve_reports_stats(self, tmp_path, capsys):
         common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
@@ -148,6 +150,18 @@ class TestServeCommand:
                      "--repeat", "1", "--top-k", "4"]) == 0
         out = capsys.readouterr().out
         assert "1 queries" in out
+
+    def test_serve_with_gateway_tenants(self, tmp_path, capsys):
+        common = ["--dataset", "FB237", "--method", "HaLk", "--dim", "8",
+                  "--scale", "0.3", "--model-dir", str(tmp_path)]
+        assert main(["serve", *common, "--train-if-missing",
+                     "--train-epochs", "2", "--train-queries", "5",
+                     "--queries", "6", "--repeat", "1", "--top-k", "3",
+                     "--tenant", "web:500:64:3",
+                     "--tenant", "batchers:::1"]) == 0
+        out = capsys.readouterr().out
+        assert "gateway: admission control on" in out
+        assert "web" in out and "batchers" in out
 
     def test_serve_without_model_fails(self, tmp_path):
         with pytest.raises(SystemExit, match="no trained model"):
