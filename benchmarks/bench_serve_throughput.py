@@ -120,6 +120,87 @@ def test_bench_serve_throughput(benchmark, bench_record):
 
 
 # ----------------------------------------------------------------------
+# always-on diagnostics overhead (flight recorder + SLO engine)
+# ----------------------------------------------------------------------
+
+def _diag_workload(num_entities=2000, dim=16, num_queries=64, seed=0):
+    from repro.config import ModelConfig
+    from repro.core import HalkModel
+    from repro.kg import KnowledgeGraph
+    from repro.queries import Entity, Projection
+
+    rng = np.random.default_rng(seed)
+    triples = [(int(rng.integers(num_entities)), int(rng.integers(8)),
+                int(rng.integers(num_entities))) for _ in range(2048)]
+    kg = KnowledgeGraph(num_entities, 8, triples)
+    model = HalkModel(kg, ModelConfig(embedding_dim=dim, seed=seed))
+    queries = [Projection(rel, Entity(head))
+               for head, rel, _ in list(kg)[:num_queries]]
+    return kg, model, queries
+
+
+def _measure_diag_overhead(rounds=400, block=50, top_k=10):
+    """p50 request latency with diagnostics on vs off, interleaved.
+
+    Two identical runtimes differing only in ``diagnostics=``; blocks of
+    requests alternate between them so clock drift and thermal noise hit
+    both sides equally.  ``answer_cache_size=1`` keeps every request on
+    the model path (a cache hit would measure the dict, not the layer).
+    """
+    kg, model, queries = _diag_workload()
+    config = dict(max_batch_size=1, num_workers=1, answer_cache_size=1)
+    latencies = {"on": [], "off": []}
+    with ServeRuntime(model, kg=kg,
+                      config=ServeConfig(diagnostics=False,
+                                         **config)) as off_runtime, \
+            ServeRuntime(model, kg=kg,
+                         config=ServeConfig(diagnostics=True,
+                                            **config)) as on_runtime:
+        runtimes = {"on": on_runtime, "off": off_runtime}
+        for runtime in runtimes.values():  # warm threads + embed cache
+            for query in queries:
+                runtime.answer(query, top_k=top_k)
+        done = 0
+        while done < rounds:
+            for label, runtime in runtimes.items():
+                for index in range(done, min(done + block, rounds)):
+                    result = runtime.answer(queries[index % len(queries)],
+                                            top_k=top_k)
+                    latencies[label].append(result.latency * 1000.0)
+            done += block
+        flights = on_runtime.diag.flight.total
+    on_p50 = float(np.percentile(latencies["on"], 50))
+    off_p50 = float(np.percentile(latencies["off"], 50))
+    return {"on_p50_ms": on_p50, "off_p50_ms": off_p50,
+            "ratio": on_p50 / off_p50, "rounds": rounds,
+            "flights": flights}
+
+
+def test_bench_diagnostics_overhead(benchmark, bench_record):
+    """Always-on diagnostics must cost < 5% p50 latency (the layer is
+    not worth having if it cannot be left on in production)."""
+    out = benchmark.pedantic(_measure_diag_overhead, rounds=1,
+                             iterations=1)
+    if bench_record:
+        record.record(BENCH_FILE,
+                      {"diag_p50_overhead_ratio": out["ratio"]},
+                      higher_is_better=False)
+        print(f"\nrecorded to {BENCH_FILE.name}")
+    print()
+    print(f"diagnostics overhead, synthetic workload "
+          f"({out['rounds']} requests per side, "
+          f"{out['flights']} flight records):")
+    print(f"  {'diagnostics off':<18} p50 {out['off_p50_ms']:>8.3f} ms")
+    print(f"  {'diagnostics on':<18} p50 {out['on_p50_ms']:>8.3f} ms "
+          f"({100.0 * (out['ratio'] - 1.0):+.1f}%)")
+    # 5% relative, with a small absolute floor so sub-millisecond p50s
+    # don't fail on scheduler noise alone
+    assert out["on_p50_ms"] <= max(1.05 * out["off_p50_ms"],
+                                   out["off_p50_ms"] + 0.25), \
+        "always-on diagnostics regressed p50 latency by more than 5%"
+
+
+# ----------------------------------------------------------------------
 # sharded ranking (--shards N)
 # ----------------------------------------------------------------------
 

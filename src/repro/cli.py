@@ -356,25 +356,36 @@ def cmd_serve(args) -> int:
     return 0
 
 
-def cmd_stats(args) -> int:
-    """Fetch a running server's ``/statusz`` and pretty-print it."""
+def _fetch_json(target: str, path: str, timeout: float,
+                query: str = "") -> dict:
+    """GET a JSON endpoint of a running server; SystemExit on failure.
+
+    Failures are one clean line (unreachable host, or a response that
+    is not JSON — the address points at something that is not a repro
+    server), matching the ``cli stats`` convention.
+    """
     import json
     from urllib.error import URLError
     from urllib.request import urlopen
 
+    target = target if "://" in target else f"http://{target}"
+    url = f"{target.rstrip('/')}{path}"
+    try:
+        with urlopen(url + (f"?{query}" if query else ""),
+                     timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except (URLError, OSError) as exc:
+        raise SystemExit(f"cannot reach {url}: {exc}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SystemExit(f"{url} did not return JSON "
+                         f"(not a repro server?): {exc}") from exc
+
+
+def cmd_stats(args) -> int:
+    """Fetch a running server's ``/statusz`` and pretty-print it."""
     from .serve import format_snapshot, snapshot_from_json
 
-    target = args.target if "://" in args.target \
-        else f"http://{args.target}"
-    try:
-        with urlopen(f"{target.rstrip('/')}/statusz",
-                     timeout=args.timeout) as response:
-            payload = json.loads(response.read().decode("utf-8"))
-    except (URLError, OSError) as exc:
-        raise SystemExit(f"cannot reach {target}/statusz: {exc}") from exc
-    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-        raise SystemExit(f"{target}/statusz did not return JSON "
-                         f"(not a repro server?): {exc}") from exc
+    payload = _fetch_json(args.target, "/statusz", args.timeout)
     health = payload.get("health")
     if health is not None:
         state = "ok" if health.get("ok") else "UNHEALTHY"
@@ -384,8 +395,82 @@ def cmd_stats(args) -> int:
     version = payload.get("model_version")
     if version is not None:
         print(f"model_version: {version}")
+    uptime = payload.get("uptime_seconds")
+    if uptime:
+        print(f"uptime: {uptime:.0f}s")
     print(format_snapshot(snapshot_from_json(payload)))
     return 0
+
+
+def cmd_flight(args) -> int:
+    """Dump a running server's flight recorder as a table."""
+    from urllib.parse import urlencode
+
+    params = {"n": args.n}
+    if args.tenant:
+        params["tenant"] = args.tenant
+    if args.min_ms is not None:
+        params["min_ms"] = args.min_ms
+    if args.request_id:
+        params["request_id"] = args.request_id
+    payload = _fetch_json(args.target, "/debug/flight", args.timeout,
+                          query=urlencode(params))
+    records = payload.get("records", [])
+    print(f"{len(records)} of {payload.get('total_recorded', 0)} "
+          f"recorded requests "
+          f"({payload.get('traces_retained', 0)} traces retained)")
+    if not records:
+        return 0
+    header = ("request_id", "tenant", "structure", "source", "lat_ms",
+              "total_ms", "queue_ms", "cache", "batch", "shards",
+              "hedge", "error")
+    rows = [header]
+    for r in records:
+        rows.append((
+            r.get("request_id", ""), r.get("tenant", "") or "-",
+            r.get("structure", "") or "-", r.get("source", "") or "-",
+            f"{r.get('latency_ms', 0.0):.2f}",
+            f"{r.get('total_ms', 0.0):.2f}",
+            f"{r.get('queue_ms', 0.0):.2f}",
+            r.get("cache", "") or "-", str(r.get("batch_size", 0)),
+            str(r.get("shards", 0)), str(r.get("hedge_wins", 0)),
+            r.get("error", "") or "-"))
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(header))]
+    for row in rows:
+        print("  ".join(cell.ljust(width)
+                        for cell, width in zip(row, widths)).rstrip())
+    return 0
+
+
+def cmd_slo(args) -> int:
+    """Fetch a running server's ``/debug/slo`` and pretty-print it."""
+    payload = _fetch_json(args.target, "/debug/slo", args.timeout)
+    fast = payload.get("windows", {}).get("fast", [])
+    slow = payload.get("windows", {}).get("slow", [])
+    if fast and slow:
+        print(f"alert policy: fast burn>{fast[2]} over "
+              f"{fast[0]:.0f}s+{fast[1]:.0f}s, slow burn>{slow[2]} "
+              f"over {slow[0]:.0f}s+{slow[1]:.0f}s")
+    status = 0
+    for objective in payload.get("objectives", []):
+        alert = objective.get("alert") or "ok"
+        if alert != "ok":
+            status = 1
+        burns = " ".join(
+            f"{window}={rate:.2f}" for window, rate
+            in objective.get("burn_rates", {}).items())
+        threshold = objective.get("threshold_ms")
+        kind = objective.get("kind", "")
+        if threshold:
+            kind += f"<{threshold:g}ms"
+        print(f"{objective.get('slo')}  [{kind}]  "
+              f"target={objective.get('target')}  burn: {burns}  "
+              f"alert: {alert.upper() if alert != 'ok' else 'ok'}")
+        for exemplar in objective.get("exemplars", []):
+            print(f"    p99 exemplar {exemplar.get('request_id')} "
+                  f"{exemplar.get('latency_ms', 0.0):.2f}ms")
+    return status
 
 
 def cmd_trace(args) -> int:
@@ -580,6 +665,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "127.0.0.1:9105")
     p.add_argument("--timeout", type=float, default=5.0)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("flight",
+                       help="dump the flight recorder (/debug/flight) of "
+                            "a running `serve --http-port` process")
+    p.add_argument("target", metavar="HOST:PORT",
+                   help="address of the telemetry endpoint, e.g. "
+                        "127.0.0.1:9105")
+    p.add_argument("-n", type=int, default=100,
+                   help="newest N records (default 100)")
+    p.add_argument("--tenant", default=None,
+                   help="only this tenant's requests")
+    p.add_argument("--min-ms", type=float, default=None,
+                   help="only requests at/above this latency")
+    p.add_argument("--request-id", default=None,
+                   help="look up one request by id")
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.set_defaults(func=cmd_flight)
+
+    p = sub.add_parser("slo",
+                       help="fetch SLO burn rates (/debug/slo) from a "
+                            "running `serve --http-port` process; exit 1 "
+                            "when any alert is firing")
+    p.add_argument("target", metavar="HOST:PORT",
+                   help="address of the telemetry endpoint, e.g. "
+                        "127.0.0.1:9105")
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("trace",
                        help="trace one query through the stack and export "

@@ -327,8 +327,9 @@ class ShardWorkerPool:
         self._hedge_lock = threading.Lock()
         self.respawns = 0
         self._seq = 0
-        #: seq -> (span current at dispatch, tracing-enabled flag)
-        self._trace_ctx: dict[int, tuple[Span | None, bool]] = {}
+        #: seq -> (span current at dispatch, tracing-enabled flag,
+        #: request id of the dispatching request)
+        self._trace_ctx: dict[int, tuple[Span | None, bool, str]] = {}
         self._closed = False
         self._workers = [_Worker(self._ctx, role) for role in roles]
         try:
@@ -370,11 +371,16 @@ class ShardWorkerPool:
         seq = self.dispatch(payloads)
         return self.gather(seq, payloads, timeout=timeout)
 
-    def dispatch(self, payloads) -> int:
+    def dispatch(self, payloads, request_id: str = "") -> int:
         """Fan one payload out to each worker; returns the sequence id.
 
         Pair with :meth:`gather` (or use :meth:`broadcast` for both) —
         split so callers can trace the fan-out separately from the wait.
+        ``request_id`` is the diagnostics join key of the dispatching
+        request: it is stamped on every adopted worker span of this
+        fan-out — including replies that arrive *after* a hedge already
+        won, which are discarded by sequence number, so a hedge can
+        never smuggle one request's telemetry into another's.
         """
         if self._closed:
             raise DistError("pool is closed")
@@ -389,20 +395,27 @@ class ShardWorkerPool:
         # task so workers never trace work nobody will look at
         traced = obs_trace.is_enabled()
         self._trace_ctx[seq] = \
-            (self.tracer.current() if traced else None, traced)
+            (self.tracer.current() if traced else None, traced, request_id)
         for worker, payload in zip(self._workers, payloads):
             self._send(worker, seq, payload)
         return seq
 
-    def gather(self, seq: int, payloads, timeout: float | None = None):
-        """Collect every worker's reply to :meth:`dispatch` call ``seq``."""
+    def gather(self, seq: int, payloads, timeout: float | None = None,
+               outcomes: list | None = None):
+        """Collect every worker's reply to :meth:`dispatch` call ``seq``.
+
+        ``outcomes`` (when a list is passed) is filled with one
+        ``"worker"`` or ``"hedge"`` per shard — who won each reply.
+        """
         replies = [None] * len(self._workers)
         timings = [None] * len(self._workers)
         deadline = None if timeout is None else time.monotonic() + timeout
         try:
             for index in range(len(self._workers)):
-                replies[index], timings[index] = self._collect(
+                replies[index], timings[index], outcome = self._collect(
                     index, seq, payloads[index], deadline)
+                if outcomes is not None:
+                    outcomes.append(outcome)
         finally:
             self._trace_ctx.pop(seq, None)
         return replies, timings
@@ -413,7 +426,7 @@ class ShardWorkerPool:
         worker.task_q.put(("task", seq, payload, self._traced(seq)))
 
     def _traced(self, seq: int) -> bool:
-        return self._trace_ctx.get(seq, (None, False))[1]
+        return self._trace_ctx.get(seq, (None, False, ""))[1]
 
     def _collect(self, index: int, seq: int, payload, deadline):
         """Wait for worker ``index``'s reply to ``seq``; heal crashes.
@@ -450,7 +463,18 @@ class ShardWorkerPool:
                                          outcome="hedge_win").inc()
                     self.metrics.counter("hedge_wins", shard=index).inc()
                     policy.observe(ended - started)
-                    return reply, (started, ended)
+                    # the winning hedge reply is attributed to the
+                    # *original* request: same seq, same request id —
+                    # the straggler worker's eventual reply (different
+                    # fate: stale seq) is dropped with its telemetry,
+                    # so the request is never double-counted
+                    span, traced, request_id = self._trace_ctx.get(
+                        seq, (None, False, ""))
+                    if traced:
+                        self.tracer.record(
+                            "shard.hedge", started, ended, parent=span,
+                            shard=index, request_id=request_id)
+                    return reply, (started, ended), "hedge"
             try:
                 kind, got_seq, detail = worker.result_q.get(timeout=_POLL)
             except queue_mod.Empty:
@@ -478,7 +502,7 @@ class ShardWorkerPool:
                 if hedge_future is not None:
                     self.metrics.counter("hedges",
                                          outcome="worker_win").inc()
-            return reply, (started, ended)
+            return reply, (started, ended), "worker"
 
     @staticmethod
     def _run_hedge(policy: HedgePolicy, index: int, payload):
@@ -502,8 +526,14 @@ class ShardWorkerPool:
         if delta:
             self.metrics.merge(delta)
         if spans:
-            parent, _ = self._trace_ctx.get(seq, (None, False))
-            self.tracer.adopt(spans, parent=parent)
+            parent, _, request_id = self._trace_ctx.get(
+                seq, (None, False, ""))
+            adopted = self.tracer.adopt(spans, parent=parent)
+            if request_id:
+                # stamp the dispatching request's id on every adopted
+                # worker span — the cross-process half of the join key
+                for span in adopted:
+                    span.attrs.setdefault("request_id", request_id)
 
     def _respawn(self, index: int) -> _Worker:
         if not self._respawn_enabled:

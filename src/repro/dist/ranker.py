@@ -164,15 +164,23 @@ class ShardedRanker:
         return self.pool.respawns
 
     # ------------------------------------------------------------------
-    def topk(self, embedding, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def topk(self, embedding, k: int, request_id: str = "",
+             shard_info: dict | None = None
+             ) -> tuple[np.ndarray, np.ndarray]:
         """Global ``(ids, vals)`` top-k of a query-batch embedding.
 
         Bitwise identical to ``topk_rows(distance_to_all(embedding), k)``
         plus the matching distances — both paths order by
         ``(distance, entity id)``.
+
+        ``request_id`` rides to the worker pool (stamped on adopted
+        spans); ``shard_info`` (when a dict is given) is filled with the
+        gather's ``shards`` fan-out and ``hedge_wins`` count for the
+        flight recorder.
         """
         replies, timings = self._run({"mode": "topk", "k": int(k)},
-                                     embedding)
+                                     embedding, request_id=request_id,
+                                     shard_info=shard_info)
         with self.tracer.span("shard.merge", shards=self.num_shards):
             return merge_topk([r["ids"] for r in replies],
                               [r["vals"] for r in replies], k)
@@ -187,7 +195,8 @@ class ShardedRanker:
         replies, _ = self._run({"mode": "all"}, embedding)
         return np.concatenate([r["distances"] for r in replies], axis=-1)
 
-    def _run(self, request: dict, embedding):
+    def _run(self, request: dict, embedding, request_id: str = "",
+             shard_info: dict | None = None):
         tracer = self.tracer
         payload = self.model.ranking_payload(embedding)
         if payload is None:
@@ -195,9 +204,14 @@ class ShardedRanker:
         request = dict(request, payload=payload)
         payloads = [request] * self.num_shards
         with tracer.span("shard.dispatch", shards=self.num_shards):
-            seq = self.pool.dispatch(payloads)
+            seq = self.pool.dispatch(payloads, request_id=request_id)
+        outcomes: list | None = [] if shard_info is not None else None
         with tracer.span("shard.gather", shards=self.num_shards):
-            replies, timings = self.pool.gather(seq, payloads)
+            replies, timings = self.pool.gather(seq, payloads,
+                                                outcomes=outcomes)
+        if shard_info is not None:
+            shard_info["shards"] = self.num_shards
+            shard_info["hedge_wins"] = outcomes.count("hedge")
         parent = tracer.current()
         for index, interval in enumerate(timings):
             if interval is not None:

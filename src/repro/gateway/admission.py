@@ -41,6 +41,12 @@ class QueuedRequest:
     #: tracing: the request's gateway.request root + open queue span
     trace_root: Any = None
     trace_queue: Any = None
+    #: diagnostics join key, minted at admission (repro.obs.diag)
+    request_id: str = ""
+    #: the request's in-progress flight record (None with diag off);
+    #: begun by the gateway at admission, committed in its completion
+    #: funnel
+    diag: Any = None
 
 
 @dataclass

@@ -152,6 +152,11 @@ class Gateway:
         self.runtime = runtime
         self.config = config or GatewayConfig()
         self.metrics = runtime.metrics
+        #: diagnostics are shared with the runtime: the gateway begins
+        #: each flight record at admission (minting the request id), the
+        #: runtime resumes it by id, and the gateway commits it in its
+        #: completion funnel — one record per request, end to end
+        self.diag = getattr(runtime, "diag", None)
         self._compile = compile_fn
         self._clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -215,7 +220,8 @@ class Gateway:
         state = self._tenant_state(tenant)
         now = self._clock()
         if not state.bucket.try_acquire():
-            self._shed(tenant, "ratelimit")
+            self._shed(tenant, "ratelimit", record_flight=True,
+                       priority=priority)
             raise GatewayRejected("ratelimit",
                                   retry_after=state.bucket.retry_after(),
                                   tenant=tenant)
@@ -226,7 +232,8 @@ class Gateway:
                 queue_full = False
                 state.pending += 1
         if queue_full:
-            self._shed(tenant, "queue_full")
+            self._shed(tenant, "queue_full", record_flight=True,
+                       priority=priority)
             raise GatewayRejected(
                 "queue_full", retry_after=self._drain_eta(state.pending),
                 tenant=tenant)
@@ -234,7 +241,8 @@ class Gateway:
         if absolute is not None and self._doomed_at_admission(deadline):
             with state.lock:
                 state.pending -= 1
-            self._shed(tenant, "doomed")
+            self._shed(tenant, "doomed", record_flight=True,
+                       priority=priority)
             raise GatewayRejected(
                 "doomed", retry_after=self._drain_eta(1), tenant=tenant)
         self.metrics.counter("admitted", tenant=tenant).inc()
@@ -247,6 +255,15 @@ class Gateway:
             entry.trace_root = root
             entry.trace_queue = self.tracer.start_span("gateway.queue",
                                                        parent=root)
+        if self.diag is not None:
+            record = self.diag.begin(tenant=tenant)
+            record.admission = "admitted"
+            record.priority = priority
+            record.root_span = root  # the whole tree hangs off this root
+            entry.request_id = record.request_id
+            entry.diag = record
+            if root is not None:
+                root.attrs["request_id"] = record.request_id
         self._loop.call_soon_threadsafe(self._enqueue, entry,
                                         state.config.weight)
         return entry.future
@@ -264,7 +281,8 @@ class Gateway:
             if state is None:
                 template = self.config.default_tenant
                 if template is None:
-                    self._shed(tenant, "unknown_tenant")
+                    self._shed(tenant, "unknown_tenant",
+                               record_flight=True)
                     raise GatewayRejected("unknown_tenant", tenant=tenant)
                 config = TenantConfig(
                     tenant, rate=template.rate, burst=template.burst,
@@ -287,8 +305,21 @@ class Gateway:
         est = self._est_service if self._est_service > 0 else 0.001
         return backlog * est / self.config.max_inflight
 
-    def _shed(self, tenant: str, reason: str) -> None:
+    def _shed(self, tenant: str, reason: str, record_flight: bool = False,
+              priority: str = "") -> None:
         self.metrics.counter("shed", reason=reason, tenant=tenant).inc()
+        # door sheds never reach the completion funnel (the caller gets
+        # a synchronous exception, no QueuedRequest exists), so their
+        # flight record is begun and committed right here; queued sheds
+        # (deadline/shutdown) commit through _finish like every other
+        # completion
+        if record_flight and self.diag is not None:
+            record = self.diag.begin(tenant=tenant)
+            record.admission = reason
+            record.priority = priority
+            record.source = "shed"
+            record.error = reason
+            self.diag.commit(record)
 
     # ------------------------------------------------------------------
     # scheduling (event-loop thread only)
@@ -310,6 +341,9 @@ class Gateway:
             now = self._clock()
             self._wait_ms.observe(1000.0 * (now - entry.admitted_at))
             self.tracer.end_span(entry.trace_queue)
+            if entry.diag is not None:
+                entry.diag.gateway_wait_ms = \
+                    1000.0 * (now - entry.admitted_at)
             if not self._dispatchable(entry, now):
                 continue
             self._inflight += 1
@@ -321,7 +355,10 @@ class Gateway:
                 # span nests under it in the trace tree
                 with self.tracer.activate(entry.trace_root):
                     inner = self.runtime.submit(entry.query, entry.top_k,
-                                                deadline=remaining)
+                                                deadline=remaining,
+                                                request_id=entry.request_id
+                                                or None,
+                                                tenant=entry.tenant)
             except BaseException as exc:
                 self._inflight -= 1
                 self._inflight_gauge.set(self._inflight)
@@ -375,7 +412,8 @@ class Gateway:
         else:
             self._finish(entry, result=ServeResult(
                 result.entity_ids, result.source,
-                latency=self._clock() - entry.admitted_at))
+                latency=self._clock() - entry.admitted_at,
+                request_id=result.request_id or entry.request_id))
 
     def _complete(self, entry: QueuedRequest, inner: ServeFuture) -> None:
         with self._live_lock:
@@ -397,17 +435,34 @@ class Gateway:
             latency = self._clock() - entry.admitted_at
             self.metrics.histogram(
                 "gateway_latency_ms", tenant=entry.tenant).observe(
-                1000.0 * latency)
+                1000.0 * latency, exemplar=entry.request_id or None)
             self._finish(entry, result=ServeResult(
-                result.entity_ids, result.source, latency=latency))
+                result.entity_ids, result.source, latency=latency,
+                request_id=result.request_id or entry.request_id))
         self._pump()
 
     def _finish(self, entry: QueuedRequest, result=None,
                 error: BaseException | None = None) -> None:
+        """The one completion funnel: every admitted request — served,
+        errored, deadline-shed, shutdown-shed — resolves here, so this
+        is where the gateway-owned flight record is committed."""
         if entry.trace_root is not None:
             if error is not None:
                 entry.trace_root.attrs["error"] = type(error).__name__
             self.tracer.end_span(entry.trace_root)
+        if entry.diag is not None:
+            record = entry.diag
+            record.total_ms = \
+                1000.0 * (self._clock() - entry.admitted_at)
+            if error is not None:
+                if isinstance(error, GatewayRejected):
+                    record.admission = error.reason
+                    record.source = "shed"
+                    record.error = error.reason
+                elif not record.error:
+                    record.source = record.source or "error"
+                    record.error = type(error).__name__
+            self.diag.commit(record)
         if error is not None:
             entry.future.set_exception(error)
         else:
@@ -475,7 +530,8 @@ class Gateway:
         return 200, {}, {"entity_ids": result.entity_ids,
                          "source": result.source,
                          "latency_ms": 1000.0 * result.latency,
-                         "tenant": tenant}
+                         "tenant": tenant,
+                         "request_id": result.request_id}
 
     @staticmethod
     def _rejected_reply(exc: GatewayRejected) -> tuple[int, dict, dict]:

@@ -10,7 +10,9 @@ The observability layer used by every tier of the stack:
 * :mod:`repro.obs.metrics` — the canonical metrics registry (counters,
   gauges, histograms; labels, cross-process deltas + merge) shared by
   the serving runtime and the shard workers;
-* :mod:`repro.obs.export` — Chrome trace-event and JSON-Lines writers.
+* :mod:`repro.obs.export` — Chrome trace-event and JSON-Lines writers;
+* :mod:`repro.obs.diag` — always-on production diagnostics: per-request
+  flight recorder, tail-based trace sampling, SLO burn-rate monitoring.
 
 All tracing instrumentation is compiled down to near-no-ops unless the
 module-level flag is switched on with :func:`enable` (or scoped with
@@ -18,6 +20,8 @@ module-level flag is switched on with :func:`enable` (or scoped with
 :class:`Profiler` context is entered.
 """
 
+from .diag import (DiagConfig, Diagnostics, FlightRecord, FlightRecorder,
+                   SloEngine, SloObjective, TailSampler, next_request_id)
 from .export import (JsonlWriter, chrome_trace_events, format_span_tree,
                      span_to_dict, write_chrome_trace)
 from .metrics import (Counter, Gauge, Histogram, HistogramStats,
@@ -45,4 +49,6 @@ __all__ = [
     "format_snapshot", "metric_key", "parse_metric_key",
     "snapshot_to_json", "snapshot_from_json",
     "get_registry", "set_registry",
+    "DiagConfig", "Diagnostics", "FlightRecord", "FlightRecorder",
+    "SloEngine", "SloObjective", "TailSampler", "next_request_id",
 ]

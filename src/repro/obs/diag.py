@@ -1,0 +1,647 @@
+"""Production diagnostics: flight recorder, tail sampling, SLO burn rates.
+
+The always-on layer that answers "what happened to *that* request?"
+after the fact.  Three pieces, all bounded in memory and cheap enough to
+leave on under full load:
+
+* **Request IDs** — :func:`next_request_id` mints a monotonic,
+  pid-stamped id (``r<pid-hex>-<counter>``) at gateway admission (or at
+  ``ServeRuntime.submit`` when the gateway is off).  The id rides on the
+  request through the batcher, the runtime, and the shard worker pool,
+  is stamped on adopted worker spans and histogram exemplars, and comes
+  back on the :class:`~repro.serve.runtime.ServeResult` — every span,
+  metric exemplar, and flight-recorder entry for one query is joinable.
+
+* **Flight recorder** — a fixed-size ring of compact
+  :class:`FlightRecord` entries, one per request: tenant, query
+  structure, admission decision, per-stage timings (gateway wait /
+  queue / embed / distance / rank), cache hit/miss, shard fan-out and
+  hedge outcome, result count, error or shed reason.  Always on; one
+  record allocation and one lock-guarded deque append per request.
+  Dumpable via ``GET /debug/flight?n=100&tenant=...&min_ms=...`` and
+  ``python -m repro.cli flight host:port``.
+
+* **Tail-based trace sampling** — while ``repro.obs`` tracing is
+  enabled, the :class:`TailSampler` decides *at request completion*
+  whether the request's full span tree is worth keeping: it finished
+  slow (fixed latency threshold and/or rolling top-p), errored, was
+  shed, or won a hedge.  Retained trees live in a bounded ring keyed by
+  request id (``GET /debug/trace/<request_id>`` exports Chrome trace
+  JSON); everything else is discarded, so memory stays bounded no
+  matter the traffic.  See DESIGN.md §10 for why the decision happens
+  at completion rather than admission.
+
+* **SLO engine** — declared :class:`SloObjective` s (availability,
+  latency-threshold) evaluated from time-bucketed good/bad counts with
+  multi-window burn-rate alerts: the fast pair (5 m + 1 h, burn > 14.4)
+  pages on sudden brownouts, the slow pair (30 m + 6 h, burn > 6)
+  catches slow bleeds — the standard multiwindow policy from the SRE
+  workbook.  Exposed at ``GET /debug/slo`` and as
+  ``slo_burn_rate{slo=...,window=...}`` gauges; latency objectives list
+  p99-bucket histogram *exemplars* (request ids) so an alert links
+  straight to flight-recorder entries and retained traces.
+
+:class:`Diagnostics` ties the three together and owns the in-progress
+record registry: the gateway ``begin()`` s a record at admission, the
+runtime ``resume()`` s it by request id (or begins its own when there is
+no gateway), stages fill fields as the request flows, and whoever began
+the record ``commit()`` s it exactly once at completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field, fields
+
+from .metrics import MetricsRegistry, get_registry
+from .trace import Span, Tracer, get_tracer, is_enabled
+
+__all__ = [
+    "next_request_id", "FlightRecord", "FlightRecorder",
+    "TailSampler", "SloObjective", "SloEngine", "DiagConfig",
+    "Diagnostics", "collect_request_spans",
+]
+
+# ----------------------------------------------------------------------
+# request ids
+# ----------------------------------------------------------------------
+
+_REQUEST_COUNTER = itertools.count(1)
+
+
+def next_request_id() -> str:
+    """Monotonic, pid-stamped request id (``r<pid-hex>-<counter>``).
+
+    Monotonic within a process (an :func:`itertools.count`, which is
+    atomic under the GIL) and globally unambiguous across the processes
+    of one serving stack thanks to the pid stamp — shard worker spans
+    adopted into the parent keep their own pid, so the id's pid always
+    names the process that *admitted* the request.
+    """
+    return f"r{os.getpid():x}-{next(_REQUEST_COUNTER):08d}"
+
+
+# ----------------------------------------------------------------------
+# flight recorder
+# ----------------------------------------------------------------------
+
+@dataclass
+class FlightRecord:
+    """Compact always-on record of one request's life.
+
+    Mutable by design: stages fill their fields as the request flows
+    (admission → queue → batch → embed → rank → resolve) and the record
+    is committed to the ring exactly once at completion.  Fields default
+    to cheap falsy values so a record costs one small allocation.
+    """
+
+    request_id: str
+    tenant: str = ""
+    #: canonical query-structure key (``batch_key``), e.g. ``p(p(e))``
+    structure: str = ""
+    #: gateway verdict: "" (no gateway) | admitted | ratelimit |
+    #: queue_full | doomed | deadline | unknown_tenant | shutdown
+    admission: str = ""
+    priority: str = ""
+    #: which path answered: model | answer_cache | exact | lsh | shed | error
+    source: str = ""
+    #: shed/error reason; empty on success
+    error: str = ""
+    #: degradation path taken: "" | deadline | failure
+    fallback: str = ""
+    #: answer-cache verdict: hit | miss
+    cache: str = ""
+    embedding_cached: bool = False
+    batch_size: int = 0
+    #: stage timings, milliseconds
+    gateway_wait_ms: float = 0.0
+    queue_ms: float = 0.0
+    embed_ms: float = 0.0
+    distance_ms: float = 0.0
+    rank_ms: float = 0.0
+    #: runtime submit→resolve latency
+    latency_ms: float = 0.0
+    #: gateway admission→completion latency (0 when the gateway is off)
+    total_ms: float = 0.0
+    result_count: int = 0
+    #: shard fan-out of the ranking pass (0 = in-process)
+    shards: int = 0
+    #: hedge wins during this request's ranking gather (the batch's
+    #: gather is shared, so batched siblings report the same value)
+    hedge_wins: int = 0
+    model_version: int = 0
+    #: wall-clock completion time (time.time; display only — no
+    #: deadline arithmetic ever reads this)
+    completed_at: float = 0.0
+    trace_retained: bool = False
+    #: root span of the request's trace tree (None while tracing is
+    #: disabled); not serialised
+    root_span: Span | None = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (the ``/debug/flight`` row)."""
+        out = {}
+        for f in fields(self):
+            if f.name == "root_span":
+                continue
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+class FlightRecorder:
+    """Fixed-size, lock-cheap ring of committed :class:`FlightRecord` s.
+
+    One mutex, one deque append per request; dumps snapshot the deque
+    under the lock and filter outside it.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self._lock = threading.Lock()
+        self._ring: deque[FlightRecord] = deque(maxlen=capacity)
+        self._total = 0
+
+    def append(self, record: FlightRecord) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self._total += 1
+
+    @property
+    def total(self) -> int:
+        """Lifetime committed-record count (ring evictions included)."""
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def dump(self, n: int = 100, tenant: str | None = None,
+             min_ms: float | None = None,
+             request_id: str | None = None) -> list[FlightRecord]:
+        """Newest-first records matching the filters, at most ``n``."""
+        with self._lock:
+            records = list(self._ring)
+        out: list[FlightRecord] = []
+        for record in reversed(records):
+            if tenant is not None and record.tenant != tenant:
+                continue
+            if min_ms is not None and \
+                    max(record.latency_ms, record.total_ms) < min_ms:
+                continue
+            if request_id is not None and \
+                    record.request_id != request_id:
+                continue
+            out.append(record)
+            if len(out) >= n:
+                break
+        return out
+
+    def get(self, request_id: str) -> FlightRecord | None:
+        """The committed record of one request id, if still in the ring."""
+        matches = self.dump(n=1, request_id=request_id)
+        return matches[0] if matches else None
+
+
+# ----------------------------------------------------------------------
+# tail-based trace sampling
+# ----------------------------------------------------------------------
+
+def collect_request_spans(tracer: Tracer, root: Span) -> list[Span]:
+    """The finished-span subtree under ``root`` (root included).
+
+    Walks the tracer's finished ring once; called only for requests the
+    sampler decided to retain, so the O(ring) cost sits on the rare
+    path, never the happy one.
+    """
+    finished = tracer.finished()
+    children: dict[int, list[Span]] = {}
+    for span in finished:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    out = [span for span in finished if span.span_id == root.span_id]
+    if not out and root.end is not None:
+        out = [root]  # ring already evicted the root; keep it anyway
+    stack = [root.span_id]
+    while stack:
+        for child in children.get(stack.pop(), ()):
+            out.append(child)
+            stack.append(child.span_id)
+    out.sort(key=lambda s: (s.start, s.span_id))
+    return out
+
+
+class TailSampler:
+    """Keep full traces only for the requests worth debugging.
+
+    The decision runs at *completion* (DESIGN.md §10): a request is
+    retained when it errored or was shed, won a hedge, finished slower
+    than ``latency_threshold_ms``, or landed in the rolling slowest
+    ``top_p`` fraction of recent completions.  Retained span trees live
+    in a bounded ring keyed by request id; everything else is dropped
+    on the spot, so memory is bounded by ``max_traces`` × tree size,
+    not by traffic.
+    """
+
+    def __init__(self, latency_threshold_ms: float | None = None,
+                 top_p: float | None = 0.05, max_traces: int = 256,
+                 quantile_window: int = 512, warmup: int = 50):
+        if top_p is not None and not 0.0 < top_p <= 1.0:
+            raise ValueError("top_p must be in (0, 1]")
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.latency_threshold_ms = latency_threshold_ms
+        self.top_p = top_p
+        self.max_traces = max_traces
+        self._warmup = warmup
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=quantile_window)
+        self._traces: OrderedDict[str, list[Span]] = OrderedDict()
+        self.retained = 0
+        self.discarded = 0
+
+    # ------------------------------------------------------------------
+    def decide(self, record: FlightRecord) -> str:
+        """Retention verdict: the reason to keep, or "" to drop.
+
+        Also feeds the rolling latency window (every completion counts,
+        kept or not, so the top-p quantile tracks *all* traffic).
+        """
+        latency = max(record.latency_ms, record.total_ms)
+        with self._lock:
+            window = sorted(self._latencies)
+            self._latencies.append(latency)
+        if record.error:
+            return "error"
+        if record.hedge_wins:
+            return "hedge_win"
+        if self.latency_threshold_ms is not None \
+                and latency >= self.latency_threshold_ms:
+            return "slow"
+        if self.top_p is not None and len(window) >= self._warmup:
+            cut = window[int((1.0 - self.top_p) * (len(window) - 1))]
+            # strictly above the cut: under uniform traffic every sample
+            # ties the quantile, and a tie must not retain 100% of it
+            if latency > cut:
+                return "top_p"
+        return ""
+
+    def retain(self, request_id: str, spans: list[Span]) -> None:
+        with self._lock:
+            self._traces[request_id] = spans
+            self._traces.move_to_end(request_id)
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+            self.retained += 1
+
+    def trace(self, request_id: str) -> list[Span] | None:
+        """The retained span tree of one request, or None."""
+        with self._lock:
+            spans = self._traces.get(request_id)
+            return list(spans) if spans is not None else None
+
+    def request_ids(self) -> list[str]:
+        """Ids with retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+# ----------------------------------------------------------------------
+# SLO engine
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declared objective.
+
+    ``kind="availability"``: a request is *bad* when it errored or was
+    shed.  ``kind="latency"``: bad when it errored **or** finished
+    slower than ``threshold_ms`` — a latency SLO that ignored errors
+    would report a perfectly fast outage.
+    """
+
+    name: str
+    #: target success fraction, e.g. 0.999 for "99.9%"
+    target: float
+    kind: str = "availability"
+    #: latency SLOs: the good/bad cut in milliseconds
+    threshold_ms: float | None = None
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1), e.g. 0.999")
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency" and (self.threshold_ms is None
+                                       or self.threshold_ms <= 0):
+            raise ValueError("latency SLOs need a positive threshold_ms")
+
+    @property
+    def budget(self) -> float:
+        """Allowed bad fraction (the error budget), e.g. 0.001."""
+        return 1.0 - self.target
+
+
+class _BucketRing:
+    """Time-bucketed good/bad event counts over a fixed horizon.
+
+    ``bucket_s``-wide slots in a circular buffer covering ``horizon_s``;
+    stale slots are zeroed lazily as time advances, so an idle engine
+    costs nothing.  All methods assume the caller holds the engine lock.
+    """
+
+    def __init__(self, bucket_s: float, horizon_s: float):
+        self.bucket_s = bucket_s
+        self.slots = int(horizon_s / bucket_s) + 1
+        self.good = [0] * self.slots
+        self.bad = [0] * self.slots
+        self._head: int | None = None  # absolute bucket index at head
+
+    def _advance(self, now: float) -> int:
+        index = int(now // self.bucket_s)
+        if self._head is None:
+            self._head = index
+        elif index > self._head:
+            step = min(index - self._head, self.slots)
+            for offset in range(1, step + 1):
+                slot = (self._head + offset) % self.slots
+                self.good[slot] = 0
+                self.bad[slot] = 0
+            self._head = index
+        return index
+
+    def add(self, ok: bool, now: float) -> None:
+        index = self._advance(now)
+        slot = index % self.slots
+        if ok:
+            self.good[slot] += 1
+        else:
+            self.bad[slot] += 1
+
+    def window(self, seconds: float, now: float) -> tuple[int, int]:
+        """(good, bad) totals over the trailing ``seconds``."""
+        index = self._advance(now)
+        buckets = min(int(seconds / self.bucket_s) + 1, self.slots)
+        good = bad = 0
+        for offset in range(buckets):
+            slot = (index - offset) % self.slots
+            good += self.good[slot]
+            bad += self.bad[slot]
+        return good, bad
+
+
+#: the standard multiwindow burn-rate alert policy (SRE workbook):
+#: (short window s, long window s, burn-rate threshold)
+FAST_BURN = (300.0, 3600.0, 14.4)
+SLOW_BURN = (1800.0, 21600.0, 6.0)
+#: display labels of every distinct alert window
+_WINDOW_LABELS = {300.0: "5m", 1800.0: "30m", 3600.0: "1h",
+                  21600.0: "6h"}
+
+
+class SloEngine:
+    """Evaluates declared objectives from time-bucketed events.
+
+    Each request completion is one event per objective (good or bad per
+    the objective's kind); burn rate over a window is
+    ``bad_fraction / error_budget``.  An alert fires when **both**
+    windows of a pair exceed the pair's threshold — the short window
+    makes the alert fast to clear, the long one keeps one noisy minute
+    from paging (the reason multiwindow policies exist).
+    """
+
+    def __init__(self, objectives, registry: MetricsRegistry | None = None,
+                 clock=time.monotonic, bucket_s: float = 5.0,
+                 fast=FAST_BURN, slow=SLOW_BURN):
+        self.objectives = tuple(objectives)
+        names = [o.name for o in self.objectives]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate SLO names in {names}")
+        self._registry = registry
+        self._clock = clock
+        self.fast = fast
+        self.slow = slow
+        horizon = max(fast[1], slow[1])
+        self._lock = threading.Lock()
+        self._rings = {o.name: _BucketRing(bucket_s, horizon)
+                       for o in self.objectives}
+
+    # ------------------------------------------------------------------
+    def observe(self, ok: bool, latency_ms: float = 0.0,
+                now: float | None = None) -> None:
+        """Fold one request completion into every objective."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            for objective in self.objectives:
+                good = ok
+                if objective.kind == "latency":
+                    good = ok and latency_ms <= objective.threshold_ms
+                self._rings[objective.name].add(good, now)
+
+    def burn_rate(self, objective: SloObjective, window_s: float,
+                  now: float | None = None) -> float:
+        """``bad_fraction(window) / error_budget``; 0 with no traffic."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            good, bad = self._rings[objective.name].window(window_s, now)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / objective.budget
+
+    def evaluate(self, now: float | None = None) -> list[dict]:
+        """Per-objective burn rates + alert verdicts; refreshes gauges.
+
+        Publishes ``slo_burn_rate{slo=,window=}`` and
+        ``slo_alert_active{slo=}`` (0/1/2 = ok/slow/fast) on the
+        attached registry so a Prometheus scrape sees what
+        ``/debug/slo`` sees.
+        """
+        if now is None:
+            now = self._clock()
+        out = []
+        windows = sorted({self.fast[0], self.fast[1],
+                          self.slow[0], self.slow[1]})
+        for objective in self.objectives:
+            burns = {w: self.burn_rate(objective, w, now) for w in windows}
+            fast_hit = (burns[self.fast[0]] > self.fast[2]
+                        and burns[self.fast[1]] > self.fast[2])
+            slow_hit = (burns[self.slow[0]] > self.slow[2]
+                        and burns[self.slow[1]] > self.slow[2])
+            alert = "fast" if fast_hit else ("slow" if slow_hit else "")
+            entry = {
+                "slo": objective.name,
+                "kind": objective.kind,
+                "target": objective.target,
+                "threshold_ms": objective.threshold_ms,
+                "burn_rates": {_WINDOW_LABELS.get(w, f"{int(w)}s"):
+                               burns[w] for w in windows},
+                "alert": alert,
+                #: error-budget fraction consumed over the long slow
+                #: window (burn 1.0 = spending exactly the budget)
+                "budget_burn_6h": burns[self.slow[1]],
+            }
+            out.append(entry)
+            if self._registry is not None:
+                for w in windows:
+                    label = _WINDOW_LABELS.get(w, f"{int(w)}s")
+                    self._registry.gauge("slo_burn_rate",
+                                         slo=objective.name,
+                                         window=label).set(burns[w])
+                self._registry.gauge(
+                    "slo_alert_active", slo=objective.name).set(
+                    2.0 if fast_hit else (1.0 if slow_hit else 0.0))
+        return out
+
+
+# ----------------------------------------------------------------------
+# the facade
+# ----------------------------------------------------------------------
+
+#: objectives installed when a DiagConfig does not declare any
+DEFAULT_SLOS = (
+    SloObjective("availability", target=0.999),
+    SloObjective("latency_p99", target=0.99, kind="latency",
+                 threshold_ms=50.0),
+)
+
+
+@dataclass(frozen=True)
+class DiagConfig:
+    """Knobs of the diagnostics layer (all bounded, all always-on)."""
+
+    flight_capacity: int = 4096
+    #: retain traces for requests at/above this latency (None = only
+    #: the top-p / error / hedge-win rules apply)
+    trace_latency_ms: float | None = None
+    #: retain the rolling slowest fraction of completions (None = off)
+    trace_top_p: float | None = 0.05
+    max_traces: int = 256
+    slos: tuple[SloObjective, ...] = DEFAULT_SLOS
+
+
+class Diagnostics:
+    """Flight recorder + tail sampler + SLO engine behind one handle.
+
+    Owns the in-progress record registry: :meth:`begin` registers a
+    record under its request id, :meth:`resume` fetches it from another
+    layer (the runtime resuming a gateway-admitted request), and
+    :meth:`commit` finalises it exactly once — ring append, SLO
+    observation, and the tail-sampling verdict (collecting the span
+    subtree from the tracer only when the verdict is "keep").
+    """
+
+    def __init__(self, config: DiagConfig | None = None,
+                 registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None, clock=time.monotonic,
+                 #: in-progress records are bounded as a leak backstop;
+                 #: oldest are dropped (their commit becomes a no-op)
+                 max_in_progress: int = 65536):
+        self.config = config or DiagConfig()
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._clock = clock
+        self.flight = FlightRecorder(self.config.flight_capacity)
+        self.sampler = TailSampler(
+            latency_threshold_ms=self.config.trace_latency_ms,
+            top_p=self.config.trace_top_p,
+            max_traces=self.config.max_traces)
+        self.slo = SloEngine(self.config.slos, registry=self.registry,
+                             clock=clock)
+        self._lock = threading.Lock()
+        self._in_progress: OrderedDict[str, FlightRecord] = OrderedDict()
+        self._max_in_progress = max_in_progress
+
+    # ------------------------------------------------------------------
+    def begin(self, request_id: str | None = None, tenant: str = "",
+              structure: str = "") -> FlightRecord:
+        """Register a fresh in-progress record (mints an id if needed)."""
+        record = FlightRecord(
+            request_id=request_id or next_request_id(),
+            tenant=tenant, structure=structure)
+        with self._lock:
+            self._in_progress[record.request_id] = record
+            while len(self._in_progress) > self._max_in_progress:
+                self._in_progress.popitem(last=False)
+        return record
+
+    def resume(self, request_id: str | None) -> FlightRecord | None:
+        """The in-progress record of ``request_id``, if one was begun."""
+        if not request_id:
+            return None
+        with self._lock:
+            return self._in_progress.get(request_id)
+
+    def commit(self, record: FlightRecord) -> None:
+        """Finalise one record: ring, SLO, tail-sampling; exactly once.
+
+        A second commit of the same record (a race between the runtime
+        and a shutting-down gateway) is a no-op — the in-progress
+        registry is the once-guard.
+        """
+        with self._lock:
+            if self._in_progress.pop(record.request_id, None) is None:
+                return
+        record.completed_at = time.time()
+        self.flight.append(record)
+        ok = not record.error
+        self.slo.observe(ok, max(record.latency_ms, record.total_ms))
+        reason = self.sampler.decide(record)
+        if reason and is_enabled() and record.root_span is not None:
+            spans = collect_request_spans(self.tracer, record.root_span)
+            if spans:
+                for span in spans:
+                    span.attrs.setdefault("request_id",
+                                          record.request_id)
+                self.sampler.retain(record.request_id, spans)
+                record.trace_retained = True
+        if not record.trace_retained:
+            self.sampler.discarded += 1
+
+    # ------------------------------------------------------------------
+    # HTTP payloads
+    # ------------------------------------------------------------------
+    def flight_payload(self, n: int = 100, tenant: str | None = None,
+                       min_ms: float | None = None,
+                       request_id: str | None = None) -> dict:
+        records = self.flight.dump(n=n, tenant=tenant, min_ms=min_ms,
+                                   request_id=request_id)
+        return {
+            "records": [r.to_dict() for r in records],
+            "count": len(records),
+            "ring_size": len(self.flight),
+            "total_recorded": self.flight.total,
+            "traces_retained": len(self.sampler),
+        }
+
+    def slo_payload(self) -> dict:
+        """The ``/debug/slo`` body: objectives + p99 exemplars."""
+        objectives = self.slo.evaluate()
+        for entry in objectives:
+            if entry["kind"] != "latency":
+                continue
+            histogram = self.registry.histogram("latency_ms")
+            stats = histogram.stats()
+            pairs = histogram.exemplars(min_value=stats.p99) \
+                if stats.count else []
+            entry["exemplars"] = [
+                {"request_id": rid, "latency_ms": value}
+                for value, rid in pairs[-10:]]
+        return {"objectives": objectives,
+                "windows": {"fast": list(self.slo.fast),
+                            "slow": list(self.slo.slow)}}
+
+    def trace(self, request_id: str) -> list[Span] | None:
+        """Retained span tree of one request (tail-sampled), or None."""
+        return self.sampler.trace(request_id)

@@ -46,15 +46,65 @@ __all__ = [
 ]
 
 
+#: characters that collide with the key grammar when they appear inside
+#: a label value (tenant names, query-structure keys like ``i(p(e),p(e))``)
+_KEY_SPECIALS = "\\,={}"
+
+
+def _escape_label_value(value: str) -> str:
+    for ch in _KEY_SPECIALS:
+        value = value.replace(ch, "\\" + ch)
+    return value
+
+
+def _split_unescaped(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` occurrences not preceded by an odd run of ``\\``."""
+    parts: list[str] = []
+    current: list[str] = []
+    escaped = False
+    for ch in text:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == sep:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    escaped = False
+    for ch in value:
+        if escaped:
+            out.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
 def metric_key(name: str, labels: dict | None = None) -> str:
     """Canonical string key of a metric: ``name`` or ``name{k=v,...}``.
 
     Labels are sorted so the same label set always renders (and hashes)
-    identically regardless of keyword order at the call site.
+    identically regardless of keyword order at the call site.  Label
+    *values* containing the grammar characters ``, = { }`` (or ``\\``)
+    are backslash-escaped so :func:`parse_metric_key` round-trips them
+    exactly — ``tenant="a=b,c"`` stays one label, not two.
     """
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(f"{k}={_escape_label_value(str(labels[k]))}"
+                     for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -64,10 +114,10 @@ def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
         return key, {}
     name, _, inner = key.partition("{")
     labels: dict[str, str] = {}
-    for part in inner[:-1].split(","):
+    for part in _split_unescaped(inner[:-1], ","):
         if part:
             k, _, v = part.partition("=")
-            labels[k] = v
+            labels[k] = _unescape_label_value(v)
     return name, labels
 
 
@@ -124,6 +174,9 @@ class HistogramStats:
     max: float
     #: non-finite observations rejected at observe() time
     dropped: int = 0
+    #: sliding-window capacity the percentiles were computed over — a
+    #: windowed p99 must never be mistaken for a lifetime percentile
+    window: int = 0
 
 
 class Histogram:
@@ -139,15 +192,21 @@ class Histogram:
     filter them.
     """
 
+    #: exemplar pairs kept per histogram (bounded like the window)
+    EXEMPLAR_CAPACITY = 256
+
     def __init__(self, window: int = 2048, track_deltas: bool = False):
         self._lock = threading.Lock()
         self._samples: deque[float] = deque(maxlen=window)
         self._count = 0
         self._dropped = 0
+        # (value, exemplar) pairs — request ids attached at observe time
+        self._exemplars: deque[tuple[float, str]] = deque(
+            maxlen=self.EXEMPLAR_CAPACITY)
         # new samples since the last flush_delta (cross-process piggyback)
         self._pending: list[float] | None = [] if track_deltas else None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         if not np.isfinite(value):
             with self._lock:
@@ -156,8 +215,25 @@ class Histogram:
         with self._lock:
             self._samples.append(value)
             self._count += 1
+            if exemplar is not None:
+                self._exemplars.append((value, exemplar))
             if self._pending is not None:
                 self._pending.append(value)
+
+    def exemplars(self, min_value: float | None = None
+                  ) -> list[tuple[float, str]]:
+        """Recent ``(value, exemplar)`` pairs, oldest first.
+
+        ``min_value`` filters to samples at/above a threshold — pass the
+        current p99 to get the ids living in the p99 bucket, which is
+        how ``/debug/slo`` links a burn-rate alert to flight-recorder
+        entries and retained traces.
+        """
+        with self._lock:
+            pairs = list(self._exemplars)
+        if min_value is None:
+            return pairs
+        return [(v, e) for v, e in pairs if v >= min_value]
 
     @property
     def count(self) -> int:
@@ -176,6 +252,7 @@ class Histogram:
             self._samples.clear()
             self._count = 0
             self._dropped = 0
+            self._exemplars.clear()
             if self._pending is not None:
                 self._pending.clear()
 
@@ -192,12 +269,14 @@ class Histogram:
             samples = np.array(self._samples, dtype=np.float64)
             count = self._count
             dropped = self._dropped
+            window = self._samples.maxlen or 0
         if samples.size == 0:
-            return HistogramStats(count, 0.0, 0.0, 0.0, 0.0, 0.0, dropped)
+            return HistogramStats(count, 0.0, 0.0, 0.0, 0.0, 0.0, dropped,
+                                  window)
         p50, p95, p99 = np.percentile(samples, (50, 95, 99))
         return HistogramStats(count, float(samples.mean()), float(p50),
                               float(p95), float(p99), float(samples.max()),
-                              dropped)
+                              dropped, window)
 
 
 @dataclass
@@ -437,7 +516,7 @@ def snapshot_to_json(snapshot: StatsSnapshot) -> dict:
         "histograms": {
             key: {"count": h.count, "mean": h.mean, "p50": h.p50,
                   "p95": h.p95, "p99": h.p99, "max": h.max,
-                  "dropped": h.dropped}
+                  "dropped": h.dropped, "window": h.window}
             for key, h in snapshot.histograms.items()},
         "stages": {
             key: {"count": s.count, "total_ms": s.total_ms,
@@ -457,7 +536,8 @@ def snapshot_from_json(payload: dict) -> StatsSnapshot:
                 count=int(h.get("count", 0)), mean=float(h.get("mean", 0.0)),
                 p50=float(h.get("p50", 0.0)), p95=float(h.get("p95", 0.0)),
                 p99=float(h.get("p99", 0.0)), max=float(h.get("max", 0.0)),
-                dropped=int(h.get("dropped", 0)))
+                dropped=int(h.get("dropped", 0)),
+                window=int(h.get("window", 0)))
             for key, h in payload.get("histograms", {}).items()},
         stages={
             key: SpanStats(

@@ -24,6 +24,18 @@ process from outside:
   ``Retry-After`` header, so standard client back-off loops work
   unmodified.  Without a gateway the path is 404 like any other.
 
+With a :class:`repro.obs.Diagnostics` handle mounted (``diag=``), three
+debug endpoints join them:
+
+* ``GET /debug/flight?n=100&tenant=…&min_ms=…&request_id=…`` — the
+  newest matching flight-recorder entries (``cli flight host:port``
+  renders a table).
+* ``GET /debug/slo`` — per-objective burn rates over every alert
+  window, alert verdicts, and p99-bucket latency exemplars.
+* ``GET /debug/trace/<request_id>`` — the tail-sampled span tree of one
+  request as Chrome trace-event JSON (load in ``chrome://tracing`` /
+  Perfetto); 404 when the request was not retained.
+
 Errors are machine-readable: unknown paths, bad methods and malformed
 bodies all return a JSON object (``{"error": ...}``) with correct
 ``Content-Type``/``Content-Length`` headers — a load balancer or SDK
@@ -41,6 +53,7 @@ import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
+from urllib.parse import parse_qs, urlsplit
 
 from ..obs.metrics import (StatsSnapshot, parse_metric_key,
                            snapshot_to_json)
@@ -170,11 +183,15 @@ class TelemetryHTTPServer:
         ``POST /v1/query`` submissions (a gateway's
         :meth:`~repro.gateway.Gateway.handle_http`); also attachable
         later via :meth:`set_query_fn`.
+    diag:
+        Optional :class:`repro.obs.Diagnostics` handle mounting the
+        ``/debug/flight`` / ``/debug/slo`` / ``/debug/trace/<id>``
+        endpoints (``ServeRuntime`` passes its own).
     """
 
     def __init__(self, snapshot_fn: Callable[[], StatsSnapshot],
                  health_fn=None, host: str = "127.0.0.1", port: int = 0,
-                 query_fn=None):
+                 query_fn=None, diag=None):
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -196,6 +213,7 @@ class TelemetryHTTPServer:
         self._snapshot_fn = snapshot_fn
         self._health_fn = health_fn
         self._query_fn = query_fn
+        self._diag = diag
         self._server = ThreadingHTTPServer((host, port), Handler)
         self._server.daemon_threads = True
         self.host = self._server.server_address[0]
@@ -223,6 +241,11 @@ class TelemetryHTTPServer:
             snapshot = self._snapshot_fn()
             payload = snapshot_to_json(snapshot)
             payload["model_version"] = snapshot.model_version
+            # top-level so a dashboard need not dig through the gauges;
+            # each histogram entry carries its "window" so a windowed
+            # p99 is never mistaken for a lifetime percentile
+            payload["uptime_seconds"] = \
+                snapshot.gauges.get("uptime_seconds", 0.0)
             payload["hit_rates"] = {
                 cache: snapshot.hit_rate(cache)
                 for cache in ("answer_cache", "embedding_cache")}
@@ -230,6 +253,58 @@ class TelemetryHTTPServer:
                 ok, detail = self._health_fn()
                 payload["health"] = {"ok": ok, **detail}
             body = json.dumps(payload, default=str) + "\n"
+            self._reply(handler, 200, body, "application/json")
+        elif path.startswith("/debug/"):
+            self._route_debug(handler, path)
+        else:
+            self._json_error(handler, 404, f"no such path: {path}")
+
+    def _route_debug(self, handler: BaseHTTPRequestHandler,
+                     path: str) -> None:
+        if self._diag is None:
+            self._json_error(handler, 404,
+                             "diagnostics disabled on this server")
+            return
+        query = parse_qs(urlsplit(handler.path).query)
+
+        def param(name, cast, default=None):
+            values = query.get(name)
+            if not values:
+                return default
+            try:
+                return cast(values[-1])
+            except (TypeError, ValueError):
+                raise ValueError(f"bad query parameter {name}="
+                                 f"{values[-1]!r}")
+
+        if path == "/debug/flight":
+            try:
+                payload = self._diag.flight_payload(
+                    n=param("n", int, 100),
+                    tenant=param("tenant", str),
+                    min_ms=param("min_ms", float),
+                    request_id=param("request_id", str))
+            except ValueError as exc:
+                self._json_error(handler, 400, str(exc))
+                return
+            self._reply(handler, 200, json.dumps(payload) + "\n",
+                        "application/json")
+        elif path == "/debug/slo":
+            self._reply(handler, 200,
+                        json.dumps(self._diag.slo_payload()) + "\n",
+                        "application/json")
+        elif path.startswith("/debug/trace/"):
+            request_id = path[len("/debug/trace/"):]
+            spans = self._diag.trace(request_id)
+            if not spans:
+                self._json_error(
+                    handler, 404,
+                    f"no retained trace for {request_id!r} (not "
+                    f"tail-sampled, evicted, or tracing disabled)")
+                return
+            from ..obs.export import chrome_trace_events
+            body = json.dumps({"traceEvents":
+                               chrome_trace_events(spans)}) + "\n"
             self._reply(handler, 200, body, "application/json")
         else:
             self._json_error(handler, 404, f"no such path: {path}")

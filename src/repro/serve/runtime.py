@@ -34,6 +34,8 @@ from ..ckpt import CheckpointError, load_checkpoint
 from ..core.model import QueryModel, topk_rows
 from ..kg.graph import KnowledgeGraph
 from ..nn import no_grad
+from ..obs.diag import DiagConfig, Diagnostics, FlightRecord, \
+    next_request_id
 from ..obs.trace import Span, Tracer, get_tracer
 from ..queries.computation_graph import Node
 from ..queries.executor import execute
@@ -84,6 +86,12 @@ class ServeConfig:
     http_port: int | None = None
     #: bind address of the telemetry HTTP server
     http_host: str = "127.0.0.1"
+    #: always-on production diagnostics (flight recorder, tail-based
+    #: trace sampling, SLO burn rates — ``repro.obs.diag``); the off
+    #: switch exists for the overhead benchmark, not for production
+    diagnostics: bool = True
+    #: diagnostics knobs; None = DiagConfig() defaults
+    diag: DiagConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -95,6 +103,10 @@ class ServeResult:
     source: str
     #: submit-to-resolve latency in seconds
     latency: float = 0.0
+    #: diagnostics join key: resolves to a flight-recorder entry
+    #: (``/debug/flight?request_id=``) and, when tail-sampled, a
+    #: retained trace (``/debug/trace/<request_id>``)
+    request_id: str = ""
 
     def __len__(self) -> int:
         return len(self.entity_ids)
@@ -154,6 +166,11 @@ class _Pending(ServeRequest):
     #: (both None when tracing is disabled)
     trace_root: Span | None = None
     trace_queue: Span | None = None
+    request_id: str = ""
+    #: in-progress flight record (None with diagnostics off); committed
+    #: by the runtime when diag_owned, else by whoever began it (gateway)
+    diag: FlightRecord | None = None
+    diag_owned: bool = False
 
 
 class ServeRuntime:
@@ -190,6 +207,14 @@ class ServeRuntime:
         self._clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
         self.metrics = MetricsRegistry(self.config.histogram_window)
+        self._started_at = time.monotonic()  # uptime display only
+        #: production diagnostics (repro.obs.diag); None only when the
+        #: overhead benchmark turns it off explicitly
+        self.diag: Diagnostics | None = None
+        if self.config.diagnostics:
+            self.diag = Diagnostics(self.config.diag,
+                                    registry=self.metrics,
+                                    tracer=self.tracer, clock=clock)
         self._ranker = None
         if self.config.num_shards >= 2:
             from ..dist import HedgeConfig, ShardedRanker
@@ -232,18 +257,48 @@ class ServeRuntime:
             from .http import TelemetryHTTPServer
             self.http_server = TelemetryHTTPServer(
                 snapshot_fn=self.stats, health_fn=self.health,
-                host=self.config.http_host, port=self.config.http_port)
+                host=self.config.http_host, port=self.config.http_port,
+                diag=self.diag)
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def submit(self, query: Node, top_k: int = 10,
-               deadline: float | None = None) -> ServeFuture:
-        """Enqueue one query; returns a future resolving to ServeResult."""
+               deadline: float | None = None,
+               request_id: str | None = None,
+               tenant: str = "") -> ServeFuture:
+        """Enqueue one query; returns a future resolving to ServeResult.
+
+        ``request_id`` joins the request to upstream diagnostics: the
+        gateway passes the id it minted at admission (the runtime then
+        *resumes* the gateway's in-progress flight record rather than
+        beginning its own); standalone callers leave it None and the
+        runtime mints one.
+        """
         self.metrics.counter("requests").inc()
         now = self._clock()
         tracer = self.tracer
-        root = tracer.start_span("serve.request", top_k=top_k)
+        # flight-record ownership: whoever begins the record commits it.
+        # resume() finding one means the gateway began it at admission
+        # and will commit in its completion sweep; the runtime only
+        # fills the serve-side fields in that case.
+        record = None
+        owned = False
+        if self.diag is not None:
+            record = self.diag.resume(request_id)
+            if record is None:
+                record = self.diag.begin(request_id=request_id,
+                                         tenant=tenant)
+                owned = True
+            rid = record.request_id
+        else:
+            rid = request_id or next_request_id()
+        root = tracer.start_span("serve.request", top_k=top_k,
+                                 request_id=rid)
+        if record is not None:
+            record.model_version = self._model_version
+            if record.root_span is None:  # no gateway root upstream
+                record.root_span = root
         with tracer.activate(root):
             with tracer.span("serve.canonicalise"):
                 canonical = canonicalize(query)
@@ -252,13 +307,23 @@ class ServeRuntime:
                 cached = self._answers.get((key, top_k))
         if cached is not None:
             self.metrics.counter("answer_cache_hits").inc()
-            future = ServeFuture()
-            future.set_result(ServeResult(list(cached), "answer_cache",
-                                          latency=self._clock() - now))
-            self._latency.observe(1000.0 * (self._clock() - now))
+            latency = self._clock() - now
             if root is not None:
                 root.attrs["source"] = "answer_cache"
                 tracer.end_span(root)
+            if record is not None:
+                record.structure = batch_key(canonical)
+                record.cache = "hit"
+                record.source = "answer_cache"
+                record.latency_ms = 1000.0 * latency
+                record.result_count = len(cached)
+                if owned:
+                    self.diag.commit(record)
+            future = ServeFuture()
+            future.set_result(ServeResult(list(cached), "answer_cache",
+                                          latency=latency,
+                                          request_id=rid))
+            self._latency.observe(1000.0 * latency, exemplar=rid)
             return future
         self.metrics.counter("answer_cache_misses").inc()
         if deadline is None:
@@ -273,7 +338,11 @@ class ServeRuntime:
             query=canonical, top_k=top_k, cache_key=key,
             group_key=batch_key(canonical),
             deadline=None if deadline is None else now + deadline,
-            retries_left=self.config.max_retries, submitted_at=now)
+            retries_left=self.config.max_retries, submitted_at=now,
+            request_id=rid, diag=record, diag_owned=owned)
+        if record is not None:
+            record.structure = request.group_key
+            record.cache = "miss"
         if root is not None:
             root.attrs["structure"] = request.group_key
             root.attrs["model_version"] = self._model_version
@@ -401,6 +470,10 @@ class ServeRuntime:
                             ("embedding_cache", self._embeddings)):
             stats = cache.stats()
             self.metrics.gauge(f"{name}_size").set(stats["size"])
+        self.metrics.gauge("uptime_seconds").set(
+            time.monotonic() - self._started_at)
+        if self.diag is not None:
+            self.diag.slo.evaluate()  # refresh slo_burn_rate gauges
         snapshot = self.metrics.snapshot()
         emb = self._embeddings.stats()
         snapshot.counters["embedding_cache_hits"] = emb["hits"]
@@ -451,6 +524,10 @@ class ServeRuntime:
         now = self._clock()
         live: list[_Pending] = []
         for request in batch:
+            if request.diag is not None:
+                request.diag.queue_ms = \
+                    1000.0 * (now - request.submitted_at)
+                request.diag.batch_size = len(batch)
             if request.deadline is not None and now >= request.deadline:
                 self.metrics.counter("deadline_overruns").inc()
                 self._fallback(request, reason="deadline")
@@ -474,13 +551,19 @@ class ServeRuntime:
         for request in live:
             self._fallback(request, reason="failure")
 
-    def _rank(self, embedding, k: int) -> tuple[np.ndarray, float]:
+    def _rank(self, embedding, k: int, request_id: str = "",
+              shard_info: dict | None = None) -> tuple[np.ndarray, float]:
         """Top-k entity ids of a batch embedding — the one ranking path.
 
         Returns ``(ids, split)``: ``ids`` is ``(B, k)`` and ``split`` the
         ``perf_counter`` instant between the distance computation and the
         top-k selection (the serve.distance / serve.rank span boundary;
         the sharded backend fuses the two, so its split is the end).
+
+        ``request_id`` rides into the shard worker pool so adopted
+        worker spans are joinable; ``shard_info`` (when given) is filled
+        with the gather's fan-out and hedge outcome for the flight
+        recorder.
 
         Every serving tier — cache-hit single queries, batched misses,
         in-process or sharded (``config.num_shards``) — flows through
@@ -489,7 +572,9 @@ class ServeRuntime:
         :func:`repro.core.topk.topk_rows` total order).
         """
         if self._ranker is not None:
-            ids, _ = self._ranker.topk(embedding, k)
+            ids, _ = self._ranker.topk(embedding, k,
+                                       request_id=request_id,
+                                       shard_info=shard_info)
             return ids, time.perf_counter()
         distances = self.model.distance_to_all(embedding).data
         split = time.perf_counter()
@@ -512,9 +597,21 @@ class ServeRuntime:
                 if embedding is None:
                     misses.append(request)
                     continue
+                shard_info: dict | None = \
+                    {} if request.diag is not None else None
                 started = time.perf_counter()
-                ids, split = self._rank(embedding, request.top_k)
+                ids, split = self._rank(embedding, request.top_k,
+                                        request_id=request.request_id,
+                                        shard_info=shard_info)
                 ended = time.perf_counter()
+                if request.diag is not None:
+                    request.diag.embedding_cached = True
+                    request.diag.distance_ms = 1000.0 * (split - started)
+                    request.diag.rank_ms = 1000.0 * (ended - split)
+                    if shard_info:
+                        request.diag.shards = shard_info.get("shards", 0)
+                        request.diag.hedge_wins = \
+                            shard_info.get("hedge_wins", 0)
                 if request.trace_root is not None:
                     tracer.record("serve.distance", started, split,
                                   parent=request.trace_root,
@@ -523,17 +620,34 @@ class ServeRuntime:
                                   parent=request.trace_root)
                 answers.append((request, [int(e) for e in ids[0]]))
             if misses:
+                shard_info = {} if any(r.diag is not None
+                                       for r in misses) else None
                 embed_start = time.perf_counter()
                 embedding = self.model.embed_batch(
                     [r.query for r in misses])
                 embed_end = time.perf_counter()
+                # the batch shares one gather; its request-id stamp and
+                # shard/hedge outcome are those of the whole batch
                 ids, split = self._rank(embedding,
-                                        max(r.top_k for r in misses))
+                                        max(r.top_k for r in misses),
+                                        request_id=misses[0].request_id,
+                                        shard_info=shard_info)
                 rank_end = time.perf_counter()
                 for i, request in enumerate(misses):
                     sliced = self.model.slice_embedding(embedding, i)
                     if sliced is not None:
                         self._embeddings.put(request.cache_key, sliced)
+                    if request.diag is not None:
+                        request.diag.embed_ms = \
+                            1000.0 * (embed_end - embed_start)
+                        request.diag.distance_ms = \
+                            1000.0 * (split - embed_end)
+                        request.diag.rank_ms = 1000.0 * (rank_end - split)
+                        if shard_info:
+                            request.diag.shards = \
+                                shard_info.get("shards", 0)
+                            request.diag.hedge_wins = \
+                                shard_info.get("hedge_wins", 0)
                     if request.trace_root is not None:
                         tracer.record("serve.embed", embed_start, embed_end,
                                       parent=request.trace_root,
@@ -560,6 +674,8 @@ class ServeRuntime:
         # it (it probes the model) and go symbolic directly.
         paths = (self._lsh_answer, self._exact_answer) \
             if reason == "deadline" else (self._exact_answer,)
+        if request.diag is not None:
+            request.diag.fallback = reason
         for path in paths:
             started = time.perf_counter()
             try:
@@ -578,6 +694,13 @@ class ServeRuntime:
         if request.trace_root is not None:
             request.trace_root.attrs.update(source="error", reason=reason)
             self.tracer.end_span(request.trace_root)
+        if request.diag is not None:
+            request.diag.source = "error"
+            request.diag.error = reason
+            request.diag.latency_ms = \
+                1000.0 * (self._clock() - request.submitted_at)
+            if request.diag_owned:
+                self.diag.commit(request.diag)
         request.future.set_exception(ServeError(
             f"request failed ({reason}) and no fallback path succeeded"))
 
@@ -615,10 +738,18 @@ class ServeRuntime:
     def _resolve(self, request: _Pending, ids: list[int],
                  source: str) -> None:
         latency = self._clock() - request.submitted_at
-        self._latency.observe(1000.0 * latency)
+        self._latency.observe(1000.0 * latency,
+                              exemplar=request.request_id or None)
         if source == "model":
             self._answers.put((request.cache_key, request.top_k), ids)
         if request.trace_root is not None:
             request.trace_root.attrs["source"] = source
             self.tracer.end_span(request.trace_root)
-        request.future.set_result(ServeResult(ids, source, latency))
+        if request.diag is not None:
+            request.diag.source = source
+            request.diag.result_count = len(ids)
+            request.diag.latency_ms = 1000.0 * latency
+            if request.diag_owned:
+                self.diag.commit(request.diag)
+        request.future.set_result(ServeResult(ids, source, latency,
+                                              request_id=request.request_id))

@@ -29,10 +29,12 @@ class FakeRuntime:
         self.http_server = None
         self.submitted = []
 
-    def submit(self, query, top_k=10, deadline=None):
+    def submit(self, query, top_k=10, deadline=None, request_id=None,
+               tenant=""):
         future = ServeFuture()
         self.submitted.append(
             {"query": query, "top_k": top_k, "deadline": deadline,
+             "request_id": request_id, "tenant": tenant,
              "future": future})
         return future
 

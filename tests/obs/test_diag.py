@@ -1,0 +1,380 @@
+"""Production diagnostics units: flight recorder, tail sampler, SLO engine.
+
+Everything here is pure and socket-free — the HTTP surface is covered in
+``tests/serve/test_debug_http.py`` and the end-to-end wiring in
+``tests/serve/test_diag_runtime.py`` / ``tests/gateway/test_diag_gateway.py``.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro import obs
+from repro.obs.diag import (DEFAULT_SLOS, DiagConfig, Diagnostics,
+                            FlightRecord, FlightRecorder, SloEngine,
+                            SloObjective, TailSampler, next_request_id)
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = [pytest.mark.obs, pytest.mark.diag]
+
+
+class ManualClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRequestIds:
+    def test_shape_is_pid_hex_plus_counter(self):
+        rid = next_request_id()
+        match = re.fullmatch(r"r([0-9a-f]+)-(\d{8})", rid)
+        assert match is not None
+        assert int(match.group(1), 16) == os.getpid()
+
+    def test_monotonic_and_unique(self):
+        ids = [next_request_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert ids == sorted(ids)  # zero-padded counter sorts correctly
+
+
+class TestFlightRecord:
+    def test_to_dict_is_json_safe_and_drops_root_span(self):
+        record = FlightRecord(request_id="r1", tenant="acme",
+                              latency_ms=1.5)
+        record.root_span = object()  # anything non-serialisable
+        row = record.to_dict()
+        assert "root_span" not in row
+        assert row["request_id"] == "r1"
+        assert row["tenant"] == "acme"
+        assert row["latency_ms"] == 1.5
+
+
+class TestFlightRecorder:
+    def test_ring_evicts_but_total_keeps_counting(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(5):
+            recorder.append(FlightRecord(request_id=f"r{index}"))
+        assert len(recorder) == 3
+        assert recorder.total == 5
+        assert [r.request_id for r in recorder.dump()] == \
+            ["r4", "r3", "r2"]  # newest first, oldest evicted
+
+    def test_dump_filters(self):
+        recorder = FlightRecorder(capacity=16)
+        for index in range(6):
+            recorder.append(FlightRecord(
+                request_id=f"r{index}",
+                tenant="acme" if index % 2 else "bits",
+                latency_ms=float(index)))
+        assert len(recorder.dump(n=2)) == 2
+        acme = recorder.dump(tenant="acme")
+        assert {r.tenant for r in acme} == {"acme"}
+        slow = recorder.dump(min_ms=4.0)
+        assert [r.request_id for r in slow] == ["r5", "r4"]
+        assert recorder.dump(request_id="r3")[0].request_id == "r3"
+        assert recorder.dump(request_id="nope") == []
+
+    def test_min_ms_uses_total_when_larger(self):
+        """A gateway-queued request can spend its life *waiting*; the
+        latency filter must see total_ms, not just runtime latency."""
+        recorder = FlightRecorder()
+        recorder.append(FlightRecord(request_id="r1", latency_ms=1.0,
+                                     total_ms=100.0))
+        assert recorder.dump(min_ms=50.0) != []
+
+    def test_get_returns_none_for_unknown(self):
+        recorder = FlightRecorder()
+        assert recorder.get("nope") is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestTailSampler:
+    @staticmethod
+    def record(latency_ms=1.0, error="", hedge_wins=0):
+        return FlightRecord(request_id="r", latency_ms=latency_ms,
+                            error=error, hedge_wins=hedge_wins)
+
+    def test_error_always_retained(self):
+        sampler = TailSampler(top_p=None)
+        assert sampler.decide(self.record(error="deadline")) == "error"
+
+    def test_hedge_win_always_retained(self):
+        sampler = TailSampler(top_p=None)
+        assert sampler.decide(self.record(hedge_wins=1)) == "hedge_win"
+
+    def test_latency_threshold(self):
+        sampler = TailSampler(latency_threshold_ms=10.0, top_p=None)
+        assert sampler.decide(self.record(latency_ms=9.0)) == ""
+        assert sampler.decide(self.record(latency_ms=10.0)) == "slow"
+
+    def test_top_p_needs_warmup(self):
+        sampler = TailSampler(top_p=0.05, warmup=50)
+        # a huge outlier before warmup is NOT retained: with no history
+        # the quantile is meaningless, so the sampler stays quiet
+        assert sampler.decide(self.record(latency_ms=1e6)) == ""
+
+    def test_top_p_catches_the_rolling_tail(self):
+        sampler = TailSampler(top_p=0.05, warmup=50)
+        for _ in range(100):
+            assert sampler.decide(self.record(latency_ms=1.0)) == ""
+        assert sampler.decide(self.record(latency_ms=50.0)) == "top_p"
+        # and the fast path stays unretained afterwards
+        assert sampler.decide(self.record(latency_ms=1.0)) == ""
+
+    def test_retain_ring_bounded_by_max_traces(self):
+        sampler = TailSampler(max_traces=2)
+        for index in range(4):
+            sampler.retain(f"r{index}", [])
+        assert len(sampler) == 2
+        assert sampler.request_ids() == ["r2", "r3"]
+        assert sampler.trace("r0") is None
+        assert sampler.trace("r3") == []
+        assert sampler.retained == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TailSampler(top_p=0.0)
+        with pytest.raises(ValueError):
+            TailSampler(top_p=1.5)
+        with pytest.raises(ValueError):
+            TailSampler(max_traces=0)
+
+
+class TestSloObjective:
+    def test_budget_is_one_minus_target(self):
+        assert SloObjective("a", 0.999).budget == pytest.approx(0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloObjective("a", 1.0)
+        with pytest.raises(ValueError):
+            SloObjective("a", 0.99, kind="latency")  # no threshold
+        with pytest.raises(ValueError):
+            SloObjective("a", 0.99, kind="nope")
+
+    def test_defaults_declare_availability_and_latency(self):
+        kinds = {o.kind for o in DEFAULT_SLOS}
+        assert kinds == {"availability", "latency"}
+        latency = next(o for o in DEFAULT_SLOS if o.kind == "latency")
+        assert latency.threshold_ms == 50.0
+
+
+class TestSloEngine:
+    @staticmethod
+    def engine(clock, registry=None):
+        return SloEngine([SloObjective("availability", 0.999)],
+                         registry=registry, clock=clock)
+
+    def test_no_traffic_means_zero_burn(self):
+        clock = ManualClock()
+        engine = self.engine(clock)
+        assert engine.burn_rate(engine.objectives[0], 300.0) == 0.0
+
+    def test_all_good_means_zero_burn(self):
+        clock = ManualClock()
+        engine = self.engine(clock)
+        for _ in range(10):
+            engine.observe(ok=True)
+        assert engine.burn_rate(engine.objectives[0], 300.0) == 0.0
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        clock = ManualClock()
+        engine = self.engine(clock)
+        for _ in range(9):
+            engine.observe(ok=True)
+        engine.observe(ok=False)
+        # bad fraction 0.1, budget 0.001 -> burn 100
+        assert engine.burn_rate(engine.objectives[0], 300.0) == \
+            pytest.approx(100.0)
+
+    def test_events_age_out_of_the_window(self):
+        clock = ManualClock()
+        engine = self.engine(clock)
+        engine.observe(ok=False)
+        assert engine.burn_rate(engine.objectives[0], 300.0) > 0
+        clock.advance(400.0)  # past the 5m window
+        assert engine.burn_rate(engine.objectives[0], 300.0) == 0.0
+        clock.advance(30000.0)  # past the whole 6h horizon
+        assert engine.burn_rate(engine.objectives[0], 21600.0) == 0.0
+
+    def test_long_window_vetoes_a_brief_blip(self):
+        """The point of multiwindow alerts: a short bad burst after an
+        hour of good traffic trips the 5m burn but not the 1h (or 6h)
+        burn, so no alert fires; a sustained burst fires ``fast``."""
+        clock = ManualClock(now=0.0)
+        engine = self.engine(clock)
+        for _ in range(720):  # one good event / 5s for an hour
+            engine.observe(ok=True)
+            clock.advance(5.0)
+        for _ in range(4):  # blip: 4 bad in the last bucket
+            engine.observe(ok=False)
+        (entry,) = engine.evaluate()
+        assert entry["burn_rates"]["5m"] > 14.4  # short window screams
+        assert entry["alert"] == ""  # ...but the long windows veto it
+        for _ in range(200):  # sustained brownout
+            engine.observe(ok=False)
+        (entry,) = engine.evaluate()
+        assert entry["alert"] == "fast"
+        assert entry["burn_rates"]["1h"] > 14.4
+
+    def test_latency_objective_counts_slow_and_errored_as_bad(self):
+        clock = ManualClock()
+        engine = SloEngine(
+            [SloObjective("lat", 0.9, kind="latency", threshold_ms=50.0)],
+            clock=clock)
+        engine.observe(ok=True, latency_ms=10.0)   # good
+        engine.observe(ok=True, latency_ms=100.0)  # slow -> bad
+        engine.observe(ok=False, latency_ms=1.0)   # errored -> bad
+        # bad fraction 2/3, budget 0.1 -> burn 6.66
+        assert engine.burn_rate(engine.objectives[0], 300.0) == \
+            pytest.approx((2 / 3) / 0.1)
+
+    def test_evaluate_publishes_gauges(self):
+        clock = ManualClock()
+        registry = MetricsRegistry()
+        engine = self.engine(clock, registry=registry)
+        engine.observe(ok=False)
+        engine.evaluate()
+        gauges = registry.snapshot().gauges
+        assert gauges["slo_burn_rate{slo=availability,window=5m}"] > 0
+        assert "slo_alert_active{slo=availability}" in gauges
+
+    def test_duplicate_slo_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEngine([SloObjective("a", 0.99),
+                       SloObjective("a", 0.999)])
+
+
+class TestDiagnostics:
+    @staticmethod
+    def diag(**kwargs):
+        return Diagnostics(DiagConfig(trace_top_p=None),
+                           registry=MetricsRegistry(), **kwargs)
+
+    def test_begin_mints_id_and_resume_finds_it(self):
+        diag = self.diag()
+        record = diag.begin(tenant="acme")
+        assert record.request_id
+        assert diag.resume(record.request_id) is record
+        assert diag.resume("") is None
+        assert diag.resume("nope") is None
+
+    def test_commit_is_exactly_once(self):
+        diag = self.diag()
+        record = diag.begin()
+        record.latency_ms = 1.0
+        diag.commit(record)
+        diag.commit(record)  # second commit: no-op
+        assert diag.flight.total == 1
+        assert diag.resume(record.request_id) is None  # no longer open
+
+    def test_commit_of_never_begun_record_is_noop(self):
+        diag = self.diag()
+        diag.commit(FlightRecord(request_id="stranger"))
+        assert diag.flight.total == 0
+
+    def test_in_progress_registry_is_bounded(self):
+        diag = self.diag(max_in_progress=2)
+        first = diag.begin()
+        diag.begin()
+        diag.begin()  # evicts `first` from the in-progress registry
+        diag.commit(first)  # ...so its commit became a no-op
+        assert diag.flight.total == 0
+
+    def test_commit_feeds_the_slo_engine(self):
+        diag = self.diag()
+        good = diag.begin()
+        good.latency_ms = 1.0
+        diag.commit(good)
+        bad = diag.begin()
+        bad.error = "ratelimit"
+        diag.commit(bad)
+        availability = diag.slo.objectives[0]
+        assert diag.slo.burn_rate(availability, 300.0) == \
+            pytest.approx(0.5 / availability.budget)
+
+    def test_flight_payload_shape(self):
+        diag = self.diag()
+        record = diag.begin(tenant="acme")
+        diag.commit(record)
+        payload = diag.flight_payload(n=10)
+        assert payload["count"] == 1
+        assert payload["total_recorded"] == 1
+        assert payload["records"][0]["tenant"] == "acme"
+        assert payload["traces_retained"] == 0
+
+    def test_slo_payload_lists_p99_exemplars(self):
+        registry = MetricsRegistry()
+        diag = Diagnostics(DiagConfig(trace_top_p=None), registry=registry)
+        histogram = registry.histogram("latency_ms")
+        for index in range(20):
+            histogram.observe(float(index), exemplar=f"r{index}")
+        payload = diag.slo_payload()
+        latency = next(o for o in payload["objectives"]
+                       if o["kind"] == "latency")
+        assert latency["exemplars"], "p99 exemplars missing"
+        top = latency["exemplars"][-1]
+        assert top["request_id"] == "r19"
+        assert top["latency_ms"] == 19.0
+        assert payload["windows"]["fast"] == [300.0, 3600.0, 14.4]
+
+    def test_trace_retention_requires_enabled_tracing(self):
+        """With tracing off there is no span tree to keep: commit still
+        records the flight entry but retains nothing."""
+        diag = Diagnostics(DiagConfig(trace_latency_ms=0.0,
+                                      trace_top_p=None),
+                           registry=MetricsRegistry())
+        record = diag.begin()
+        record.latency_ms = 99.0
+        diag.commit(record)
+        assert diag.flight.total == 1
+        assert not record.trace_retained
+        assert diag.trace(record.request_id) is None
+
+    def test_trace_retention_keeps_the_span_subtree(self):
+        registry = MetricsRegistry()
+        with obs.enabled():
+            tracer = obs.get_tracer()
+            diag = Diagnostics(DiagConfig(trace_latency_ms=0.0,
+                                          trace_top_p=None),
+                               registry=registry, tracer=tracer)
+            record = diag.begin()
+            root = tracer.start_span("serve.request")
+            child = tracer.start_span("serve.embed", parent=root)
+            tracer.end_span(child)
+            tracer.end_span(root)
+            record.root_span = root
+            record.latency_ms = 42.0
+            diag.commit(record)
+            assert record.trace_retained
+            spans = diag.trace(record.request_id)
+            assert [s.name for s in spans] == \
+                ["serve.request", "serve.embed"]
+            # every retained span is stamped with the join key
+            assert {s.attrs["request_id"] for s in spans} == \
+                {record.request_id}
+
+    def test_fast_request_leaves_no_retained_trace(self):
+        with obs.enabled():
+            tracer = obs.get_tracer()
+            diag = Diagnostics(DiagConfig(trace_latency_ms=1000.0,
+                                          trace_top_p=None),
+                               registry=MetricsRegistry(), tracer=tracer)
+            record = diag.begin()
+            root = tracer.start_span("serve.request")
+            tracer.end_span(root)
+            record.root_span = root
+            record.latency_ms = 0.5
+            diag.commit(record)
+            assert not record.trace_retained
+            assert diag.trace(record.request_id) is None
+            assert diag.sampler.discarded == 1

@@ -10,6 +10,8 @@ real worker processes.
 import threading
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs.metrics import (MetricsDelta, MetricsRegistry,
                                PeriodicReporter, format_snapshot,
@@ -39,6 +41,26 @@ class TestMetricKeys:
         assert base == "rank_block_ms"
         assert labels == {"shard": "2"}
         assert metric_key(base, labels) == key
+
+    def test_specials_in_label_values_round_trip(self):
+        """Values containing the key syntax itself (``, = { } \\``) must
+        survive render -> parse unchanged (they used to shear the key
+        apart at the first comma)."""
+        labels = {"tenant": "a=b,{c}\\d", "q": "{}"}
+        base, parsed = parse_metric_key(metric_key("m", labels))
+        assert base == "m"
+        assert parsed == labels
+
+    @given(labels=st.dictionaries(
+        st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True),
+        st.text(max_size=24), max_size=4))
+    def test_round_trip_any_label_values(self, labels):
+        """Property: parse_metric_key inverts metric_key for arbitrary
+        label values, including the escape character and separators."""
+        key = metric_key("m", labels)
+        base, parsed = parse_metric_key(key)
+        assert base == "m"
+        assert parsed == labels
 
 
 class TestLabelledMetrics:

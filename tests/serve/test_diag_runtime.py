@@ -1,0 +1,162 @@
+"""Diagnostics wired through the serving runtime, end to end.
+
+Request ids on results, flight records per request (miss and cache-hit
+paths), tail-sampled trace retention under ``obs.enabled()``, histogram
+exemplars, and the ``diagnostics=False`` off-switch.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.diag import DiagConfig
+from repro.queries import Entity, Projection
+from repro.serve import ServeConfig, ServeRuntime
+
+pytestmark = pytest.mark.diag
+
+
+@pytest.fixture()
+def runtime(model, tiny_kg):
+    config = ServeConfig(max_batch_size=8, flush_timeout=0.002,
+                         num_workers=1)
+    with ServeRuntime(model, kg=tiny_kg, config=config) as runtime:
+        yield runtime
+
+
+def distinct_queries(kg, n):
+    seen, out = set(), []
+    for head, rel, _ in kg:
+        if (head, rel) not in seen:
+            seen.add((head, rel))
+            out.append(Projection(rel, Entity(head)))
+        if len(out) == n:
+            break
+    return out
+
+
+class TestRequestIdsOnResults:
+    def test_every_result_carries_a_distinct_id(self, runtime, tiny_kg):
+        results = [runtime.answer(q, top_k=3)
+                   for q in distinct_queries(tiny_kg, 5)]
+        ids = [r.request_id for r in results]
+        assert all(ids)
+        assert len(set(ids)) == 5
+
+    def test_caller_supplied_id_is_honoured(self, runtime, tiny_kg):
+        (query,) = distinct_queries(tiny_kg, 1)
+        future = runtime.submit(query, top_k=3,
+                                request_id="ticket-42", tenant="acme")
+        result = future.result(timeout=10)
+        assert result.request_id == "ticket-42"
+        record = runtime.diag.flight.get("ticket-42")
+        assert record is not None
+        assert record.tenant == "acme"
+
+    def test_ids_minted_even_with_diagnostics_off(self, model, tiny_kg):
+        config = ServeConfig(max_batch_size=4, num_workers=1,
+                             diagnostics=False)
+        with ServeRuntime(model, kg=tiny_kg, config=config) as runtime:
+            assert runtime.diag is None
+            (query,) = distinct_queries(tiny_kg, 1)
+            result = runtime.answer(query, top_k=3)
+            assert result.request_id  # the join key survives the switch
+            runtime.stats()  # and stats does not trip over diag=None
+
+
+class TestFlightRecords:
+    def test_model_path_record_is_complete(self, runtime, tiny_kg):
+        (query,) = distinct_queries(tiny_kg, 1)
+        result = runtime.answer(query, top_k=3)
+        record = runtime.diag.flight.get(result.request_id)
+        assert record is not None
+        assert record.source == "model"
+        assert record.cache == "miss"
+        assert record.structure  # canonical batch key, e.g. "P(E)"
+        assert record.batch_size >= 1
+        assert record.latency_ms > 0
+        assert record.queue_ms >= 0
+        assert record.embed_ms > 0
+        assert record.result_count == len(result.entity_ids)
+        assert record.model_version == runtime.model_version
+        assert record.error == ""
+        assert record.completed_at > 0
+
+    def test_cache_hit_gets_its_own_record(self, runtime, tiny_kg):
+        (query,) = distinct_queries(tiny_kg, 1)
+        first = runtime.answer(query, top_k=3)
+        second = runtime.answer(query, top_k=3)
+        assert second.source == "answer_cache"
+        assert second.request_id != first.request_id
+        record = runtime.diag.flight.get(second.request_id)
+        assert record.cache == "hit"
+        assert record.source == "answer_cache"
+        assert record.result_count == len(second.entity_ids)
+
+    def test_commits_feed_the_slo_engine(self, runtime, tiny_kg):
+        for query in distinct_queries(tiny_kg, 4):
+            runtime.answer(query, top_k=3)
+        availability = runtime.diag.slo.objectives[0]
+        assert runtime.diag.slo.burn_rate(availability, 300.0) == 0.0
+        payload = runtime.diag.slo_payload()
+        assert {o["slo"] for o in payload["objectives"]} == \
+            {"availability", "latency_p99"}
+
+    def test_latency_exemplars_resolve_to_flight_entries(self, runtime,
+                                                         tiny_kg):
+        results = [runtime.answer(q, top_k=3)
+                   for q in distinct_queries(tiny_kg, 4)]
+        pairs = runtime.metrics.histogram("latency_ms").exemplars()
+        assert pairs, "latency histogram recorded no exemplars"
+        ids = {rid for _, rid in pairs}
+        assert ids == {r.request_id for r in results}
+        for rid in ids:
+            assert runtime.diag.flight.get(rid) is not None
+
+
+class TestTailSampledTraces:
+    def test_slow_request_trace_retained_fast_one_dropped(self, model,
+                                                          tiny_kg):
+        config = ServeConfig(
+            max_batch_size=4, num_workers=1,
+            diag=DiagConfig(trace_latency_ms=0.0, trace_top_p=None))
+        with obs.enabled():
+            with ServeRuntime(model, kg=tiny_kg, config=config) as runtime:
+                (query,) = distinct_queries(tiny_kg, 1)
+                result = runtime.answer(query, top_k=3)
+                spans = runtime.diag.trace(result.request_id)
+                assert spans is not None
+                names = {s.name for s in spans}
+                assert "serve.request" in names
+                assert "serve.embed" in names
+                assert {s.attrs.get("request_id") for s in spans} == \
+                    {result.request_id}
+                record = runtime.diag.flight.get(result.request_id)
+                assert record.trace_retained
+
+    def test_happy_path_leaves_no_retained_trace(self, model, tiny_kg):
+        config = ServeConfig(
+            max_batch_size=4, num_workers=1,
+            diag=DiagConfig(trace_latency_ms=10_000.0, trace_top_p=None))
+        with obs.enabled():
+            with ServeRuntime(model, kg=tiny_kg, config=config) as runtime:
+                (query,) = distinct_queries(tiny_kg, 1)
+                result = runtime.answer(query, top_k=3)
+                assert runtime.diag.trace(result.request_id) is None
+                assert len(runtime.diag.sampler) == 0
+
+    def test_tracing_disabled_still_records_flights(self, model, tiny_kg):
+        config = ServeConfig(
+            max_batch_size=4, num_workers=1,
+            diag=DiagConfig(trace_latency_ms=0.0, trace_top_p=None))
+        with ServeRuntime(model, kg=tiny_kg, config=config) as runtime:
+            (query,) = distinct_queries(tiny_kg, 1)
+            result = runtime.answer(query, top_k=3)
+            assert runtime.diag.flight.get(result.request_id) is not None
+            assert runtime.diag.trace(result.request_id) is None
+
+
+class TestUptime:
+    def test_stats_publishes_uptime_gauge(self, runtime):
+        runtime.stats()
+        uptime = runtime.metrics.snapshot().gauges["uptime_seconds"]
+        assert uptime >= 0.0
