@@ -35,13 +35,24 @@ import subprocess
 import sys
 
 __all__ = ["record", "load_entries", "check_regression",
-           "RegressionError", "BENCH_DIR"]
+           "RegressionError", "BENCH_DIR", "METRIC_DIRECTIONS"]
 
 #: Trajectory files live in the repository root, next to the other
 #: capitalised status files (README.md, ROADMAP.md, ...).
 BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent
 
 DEFAULT_THRESHOLD = 0.20
+
+#: Canonical improvement direction for gated metrics whose name alone
+#: does not say so.  ``record(higher_is_better=None)`` consults this, so
+#: every benchmark that tracks one of these keys agrees with the gate:
+#: the scaling crossover is the entity count where sharding starts to
+#: win — *lower* means the data plane pays for itself sooner — while
+#: the qps keys follow the usual higher-is-better convention.
+METRIC_DIRECTIONS: dict[str, bool] = {
+    "scaling_crossover_entities": False,
+    "sharded_qps_100k": True,
+}
 
 
 class RegressionError(Exception):
@@ -71,15 +82,16 @@ def load_entries(path) -> list[dict]:
 
 
 def record(path, metrics: dict[str, float], *,
-           higher_is_better: bool | dict[str, bool] = True,
+           higher_is_better: bool | dict[str, bool] | None = True,
            commit: str | None = None,
            timestamp: str | None = None) -> list[dict]:
     """Append one entry per metric to the trajectory at ``path``.
 
     ``metrics`` maps metric name to value; ``higher_is_better`` applies
-    to all of them, or per-metric via a dict.  Returns the appended
-    entries.  The write is atomic (tmp file + rename) so a crashed
-    benchmark run cannot truncate the history.
+    to all of them, per-metric via a dict, or ``None`` to look each
+    metric up in :data:`METRIC_DIRECTIONS` (defaulting to True).
+    Returns the appended entries.  The write is atomic (tmp file +
+    rename) so a crashed benchmark run cannot truncate the history.
     """
     path = pathlib.Path(path)
     commit = commit or _current_commit()
@@ -88,8 +100,12 @@ def record(path, metrics: dict[str, float], *,
     entries = load_entries(path)
     appended = []
     for metric, value in metrics.items():
-        hib = higher_is_better if isinstance(higher_is_better, bool) \
-            else bool(higher_is_better.get(metric, True))
+        if higher_is_better is None:
+            hib = METRIC_DIRECTIONS.get(metric, True)
+        elif isinstance(higher_is_better, bool):
+            hib = higher_is_better
+        else:
+            hib = bool(higher_is_better.get(metric, True))
         appended.append({"commit": commit, "timestamp": timestamp,
                          "metric": metric, "value": float(value),
                          "higher_is_better": hib})

@@ -279,6 +279,7 @@ def cmd_serve(args) -> int:
                          answer_ttl=args.answer_ttl,
                          default_deadline=args.deadline,
                          num_shards=getattr(args, "shards", 0),
+                         lazy_shard_slabs=getattr(args, "lazy_slabs", None),
                          hedge_shards=args.hedge,
                          http_port=args.http_port,
                          http_host=args.http_host)
@@ -353,6 +354,24 @@ def cmd_serve(args) -> int:
                 print()
         if gateway is not None:
             gateway.close()
+    return 0
+
+
+def cmd_genkg(args) -> int:
+    """Stream an xl-scale synthetic KG to disk."""
+    from .kg.xl import DEFAULT_CHUNK, fb15k_xl_config, stream_splits
+
+    config = fb15k_xl_config(num_entities=args.entities, seed=args.seed)
+    start = time.perf_counter()
+    summary = stream_splits(config, args.out, seed=args.seed,
+                            chunk=args.chunk or DEFAULT_CHUNK,
+                            exact=args.exact)
+    elapsed = time.perf_counter() - start
+    print(f"{summary.name}: {summary.num_entities:,} entities, "
+          f"{summary.num_relations} relations -> {args.out} "
+          f"({elapsed:.1f}s)")
+    for split in ("train", "valid", "test"):
+        print(f"  {split:>5}: {summary.counts[split]:>12,} triples")
     return 0
 
 
@@ -654,8 +673,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hold", action="store_true",
                    help="after the demo workload, keep the runtime (and "
                         "its HTTP endpoints) alive until Ctrl-C")
+    p.add_argument("--lazy-slabs", action="store_true", default=None,
+                   dest="lazy_slabs",
+                   help="publish one shared-memory slab per shard instead "
+                        "of the whole entity table (default: automatic "
+                        "above 100k entities; needs --shards >= 2)")
     shards(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("genkg",
+                       help="stream a synthetic xl-scale KG to disk "
+                            "(never materialises the triple set in RAM)")
+    p.add_argument("out", metavar="DIR",
+                   help="output directory (entities/relations vocab + "
+                        "train/valid/test TSVs + meta.json)")
+    p.add_argument("--entities", type=int, default=100_000,
+                   help="entity count (default 100000)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chunk", type=int, default=None,
+                   help="entity rows per generation chunk")
+    p.add_argument("--exact", action="store_true", default=None,
+                   help="force the exact O(n^2) tail search (bitwise "
+                        "equal to the in-memory generator; default "
+                        "automatic below 20k entities)")
+    p.set_defaults(func=cmd_genkg)
 
     p = sub.add_parser("stats",
                        help="fetch and pretty-print /statusz from a "

@@ -47,8 +47,16 @@ def merge_topk(ids: "list[np.ndarray]", vals: "list[np.ndarray]",
     """
     if not ids or len(ids) != len(vals):
         raise ValueError("ids/vals must be equal-length non-empty lists")
+    for shard, (i, v) in enumerate(zip(ids, vals)):
+        if np.shape(i) != np.shape(v):
+            raise ValueError(f"shard {shard}: ids shape {np.shape(i)} != "
+                             f"vals shape {np.shape(v)}")
     cand_ids = np.concatenate(ids, axis=-1)
     cand_vals = np.concatenate(vals, axis=-1)
+    # honour the docstring promise here too, not just inside topk_rows:
+    # k beyond the concatenated candidate width (tiny shards, high k)
+    # must degrade to "return everything", never raise
+    k = min(int(k), cand_vals.shape[-1])
     select = topk_rows(cand_vals, k)
     return (np.take_along_axis(cand_ids, select, axis=-1),
             np.take_along_axis(cand_vals, select, axis=-1))

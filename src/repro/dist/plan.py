@@ -23,6 +23,7 @@ goes through :func:`_attach_untracked`.
 from __future__ import annotations
 
 import secrets
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,16 +82,24 @@ def _attach_untracked(name: str):
 
 @dataclass(frozen=True)
 class SharedArraySpec:
-    """Picklable handle to a published array (ships to workers)."""
+    """Picklable handle to a published array (ships to workers).
+
+    ``row_offset`` is the global row id of the segment's first row: 0
+    for a whole-table segment, ``shard.start`` for a lazy per-shard
+    slab.  Workers subtract it to translate their global ``ShardRange``
+    into local slab rows, so the same worker code serves both layouts.
+    """
 
     name: str
     shape: tuple[int, ...]
     dtype: str
+    row_offset: int = 0
 
     def attach(self) -> "SharedArray":
         """Map the segment in this process (read/write view, no copy)."""
         shm = _attach_untracked(self.name)
-        return SharedArray(shm, self.shape, self.dtype, owner=False)
+        return SharedArray(shm, self.shape, self.dtype, owner=False,
+                           row_offset=self.row_offset)
 
 
 class SharedArray:
@@ -102,34 +111,76 @@ class SharedArray:
     their row block without duplicating the table.
     """
 
-    def __init__(self, shm, shape, dtype, owner: bool):
+    #: rows copied per :meth:`fill` step — bounds the transient working
+    #: set to one chunk regardless of table size
+    FILL_CHUNK_ROWS = 65_536
+
+    def __init__(self, shm, shape, dtype, owner: bool, row_offset: int = 0):
         self._shm = shm
         self._owner = owner
         self._closed = False
         self.spec = SharedArraySpec(shm.name, tuple(int(s) for s in shape),
-                                    str(dtype))
+                                    str(dtype), int(row_offset))
         self.ndarray = np.ndarray(self.spec.shape, dtype=np.dtype(dtype),
                                   buffer=shm.buf)
 
     @classmethod
-    def create(cls, array: np.ndarray, name: str | None = None
-               ) -> "SharedArray":
-        """Publish a copy of ``array`` as a new shared segment."""
+    def create_empty(cls, shape, dtype, name: str | None = None,
+                     row_offset: int = 0) -> "SharedArray":
+        """Allocate a zero-filled segment without any source copy.
+
+        This is the xl-scale entry point: allocate first, then
+        :meth:`fill` chunk by chunk from an ndarray-like source (a plain
+        array, or an ``np.memmap`` whose pages are only read as each
+        chunk is copied), so peak RSS never holds source + segment.
+        """
         from multiprocessing import shared_memory
-        array = np.ascontiguousarray(array)
+        shape = tuple(int(s) for s in shape)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
         name = name or f"repro-{secrets.token_hex(6)}"
         shm = shared_memory.SharedMemory(create=True, name=name,
-                                         size=max(array.nbytes, 1))
-        out = cls(shm, array.shape, array.dtype, owner=True)
-        out.ndarray[...] = array
+                                         size=max(nbytes, 1))
+        return cls(shm, shape, dtype, owner=True, row_offset=row_offset)
+
+    @classmethod
+    def create(cls, array: np.ndarray, name: str | None = None
+               ) -> "SharedArray":
+        """Publish a copy of ``array`` as a new shared segment.
+
+        Copies straight into the segment chunk by chunk — exactly one
+        copy of the data is ever made, with no intermediate
+        ``ascontiguousarray`` materialisation for non-contiguous (or
+        memory-mapped) sources.
+        """
+        array = np.asarray(array)
+        out = cls.create_empty(array.shape, array.dtype, name=name)
+        out.fill(array)
         return out
+
+    def fill(self, source, rows: slice | None = None,
+             chunk_rows: int | None = None) -> None:
+        """Copy ``source`` into the segment in bounded chunks.
+
+        ``source`` is any ndarray-like sliceable along axis 0 (including
+        ``np.memmap``); ``rows`` narrows the copy to a first-axis slice
+        of the *segment* (``source`` must then match its length).  Only
+        ``chunk_rows`` rows are in flight at a time.
+        """
+        target = self.ndarray if rows is None else self.ndarray[rows]
+        if len(target) != len(source):
+            raise ValueError(f"source has {len(source)} rows, "
+                             f"target expects {len(target)}")
+        chunk = chunk_rows or self.FILL_CHUNK_ROWS
+        for start in range(0, len(target), max(chunk, 1)):
+            stop = min(start + chunk, len(target))
+            target[start:stop] = source[start:stop]
 
     def write(self, array: np.ndarray) -> None:
         """Overwrite the published values in place (same shape/dtype)."""
         if array.shape != self.ndarray.shape:
             raise ValueError(f"shape changed: published "
                              f"{self.ndarray.shape}, got {array.shape}")
-        self.ndarray[...] = array
+        self.fill(array)
 
     def close(self) -> None:
         """Unmap; the owner additionally destroys the segment."""
@@ -173,13 +224,20 @@ def partition_rows(num_rows: int, num_shards: int) -> list[ShardRange]:
     """Split ``num_rows`` into ``num_shards`` balanced contiguous ranges.
 
     The first ``num_rows % num_shards`` shards get one extra row, so
-    shard sizes differ by at most one.
+    shard sizes differ by at most one.  Asking for more shards than
+    rows clamps to one row per shard (with a warning) rather than
+    raising — ``--shards 8`` on a tiny graph should serve, not crash;
+    callers read the effective count from ``len()`` of the result.
     """
+    if num_rows <= 0:
+        raise ValueError("num_rows must be positive")
     if num_shards <= 0:
         raise ValueError("num_shards must be positive")
     if num_rows < num_shards:
-        raise ValueError(f"cannot split {num_rows} rows into "
-                         f"{num_shards} non-empty shards")
+        warnings.warn(f"requested {num_shards} shards for {num_rows} rows; "
+                      f"clamping to {num_rows} single-row shards",
+                      RuntimeWarning, stacklevel=2)
+        num_shards = num_rows
     base, extra = divmod(num_rows, num_shards)
     ranges = []
     start = 0
@@ -193,43 +251,104 @@ def partition_rows(num_rows: int, num_shards: int) -> list[ShardRange]:
 class EntityShardPlan:
     """K contiguous shards of an entity table, published once.
 
+    Two layouts behind one interface:
+
+    * **table** (``lazy=False``, the default) — the whole ``(N, d)``
+      array in one segment; every worker attaches it and slices its row
+      block.  Simple, and write-through updates touch one segment.
+    * **lazy slabs** (``lazy=True``) — one segment *per shard*, each
+      allocated empty and filled chunk-by-chunk from ``points``.  The
+      parent never holds source + published copy simultaneously beyond
+      one fill chunk, and a worker maps only its own ``len(range) × d``
+      rows instead of the full table — at a million entities that is
+      the difference between every process mapping 16 MB × d/2 and each
+      mapping its 1/K share.  ``points`` may be an ``np.memmap``: its
+      pages are read on demand during the fill and never all resident.
+
     Parameters
     ----------
     points:
-        ``(N, d)`` entity representation (e.g. wrapped circle angles).
+        ``(N, d)`` entity representation (e.g. wrapped circle angles);
+        any ndarray-like sliceable along axis 0.
     num_shards:
-        Number of contiguous row blocks.
+        Number of contiguous row blocks (clamped to N, see
+        :func:`partition_rows`).
+    lazy:
+        Publish per-shard slabs instead of one whole-table segment.
     """
 
-    def __init__(self, points: np.ndarray, num_shards: int):
-        points = np.asarray(points)
+    def __init__(self, points, num_shards: int, lazy: bool = False,
+                 chunk_rows: int | None = None):
+        if getattr(points, "ndim", None) != 2:
+            points = np.asarray(points)
         if points.ndim != 2:
             raise ValueError("points must be (N, d)")
-        self.num_entities = points.shape[0]
-        self.dim = points.shape[1]
+        self.num_entities = int(points.shape[0])
+        self.dim = int(points.shape[1])
+        self.lazy = bool(lazy)
+        self._chunk_rows = chunk_rows
         self.ranges = partition_rows(self.num_entities, num_shards)
-        self.table = SharedArray.create(points)
+        if self.lazy:
+            self.table = None
+            self.slabs = []
+            for rng in self.ranges:
+                slab = SharedArray.create_empty(
+                    (len(rng), self.dim), points.dtype, row_offset=rng.start)
+                slab.fill(points[rng.start:rng.stop], chunk_rows=chunk_rows)
+                self.slabs.append(slab)
+        else:
+            self.table = SharedArray.create(points)
+            self.slabs = None
 
     @property
     def num_shards(self) -> int:
         return len(self.ranges)
 
     def shard_spec(self, index: int) -> tuple[SharedArraySpec, ShardRange]:
-        """What a worker needs to map its block: (segment, row range)."""
+        """What a worker needs to map its block: (segment, row range).
+
+        The segment is the whole table (``row_offset == 0``) or the
+        shard's own slab (``row_offset == range.start``); the worker
+        slices ``[start - row_offset, stop - row_offset)`` either way.
+        """
+        if self.lazy:
+            return self.slabs[index].spec, self.ranges[index]
         return self.table.spec, self.ranges[index]
 
-    def update(self, points: np.ndarray) -> None:
+    def rows(self, shard: ShardRange) -> np.ndarray:
+        """Zero-copy view of a shard's rows in the parent process."""
+        if self.lazy:
+            return self.slabs[shard.index].ndarray
+        return self.table.ndarray[shard.start:shard.stop]
+
+    def update(self, points) -> None:
         """Write-through refresh after the model's weights changed.
 
         Attached workers observe the new values immediately; callers
         must quiesce in-flight scoring first (the serving runtime does
-        this under its model write lock).
+        this under its model write lock).  Chunked either way, so a
+        refresh never re-materialises the table.
         """
-        self.table.write(np.asarray(points))
+        if getattr(points, "ndim", None) != 2:
+            points = np.asarray(points)
+        if points.shape != (self.num_entities, self.dim):
+            raise ValueError(f"shape changed: published "
+                             f"{(self.num_entities, self.dim)}, "
+                             f"got {tuple(points.shape)}")
+        if self.lazy:
+            for rng, slab in zip(self.ranges, self.slabs):
+                slab.fill(points[rng.start:rng.stop],
+                          chunk_rows=self._chunk_rows)
+        else:
+            self.table.fill(points, chunk_rows=self._chunk_rows)
 
     def close(self) -> None:
-        """Destroy the published segment (workers must detach first)."""
-        self.table.close()
+        """Destroy the published segments (workers must detach first)."""
+        if self.lazy:
+            for slab in self.slabs:
+                slab.close()
+        else:
+            self.table.close()
 
     def __enter__(self) -> "EntityShardPlan":
         return self

@@ -60,8 +60,12 @@ class RankWorkerRole(WorkerRole):
 
     def setup(self):
         table = self.spec.attach()
-        # zero-copy view of this worker's row block
-        return table, table.ndarray[self.shard.start:self.shard.stop]
+        # zero-copy view of this worker's row block; row_offset is 0 for
+        # a whole-table segment and shard.start for a lazy per-shard
+        # slab, so the same slice arithmetic serves both layouts
+        start = self.shard.start - self.spec.row_offset
+        stop = self.shard.stop - self.spec.row_offset
+        return table, table.ndarray[start:stop]
 
     def handle(self, state, payload):
         _, points = state
@@ -103,11 +107,15 @@ class ShardedRanker:
     model pass at a time under its model lock).
     """
 
+    #: entity count at which lazy per-shard slabs switch on by default
+    LAZY_SLAB_THRESHOLD = 100_000
+
     def __init__(self, model, num_shards: int,
                  start_method: str | None = None,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
-                 hedge: HedgeConfig | None = None):
+                 hedge: HedgeConfig | None = None,
+                 lazy_slabs: bool | None = None):
         if num_shards < 2:
             raise ValueError("sharded execution needs >= 2 shards")
         spec = model.sharding_spec()
@@ -118,7 +126,9 @@ class ShardedRanker:
         self.model = model
         self._scorer = scorer
         self.tracer = tracer if tracer is not None else get_tracer()
-        self.plan = EntityShardPlan(points, num_shards)
+        if lazy_slabs is None:
+            lazy_slabs = points.shape[0] >= self.LAZY_SLAB_THRESHOLD
+        self.plan = EntityShardPlan(points, num_shards, lazy=lazy_slabs)
         roles = [RankWorkerRole(*self.plan.shard_spec(i), scorer, index=i)
                  for i in range(self.plan.num_shards)]
         self.pool = ShardWorkerPool(roles, start_method=start_method,
@@ -138,7 +148,8 @@ class ShardedRanker:
                   start_method: str | None = None,
                   tracer: Tracer | None = None,
                   metrics: MetricsRegistry | None = None,
-                  hedge: HedgeConfig | None = None
+                  hedge: HedgeConfig | None = None,
+                  lazy_slabs: bool | None = None
                   ) -> "ShardedRanker | None":
         """Ranker, or None when sharding is unsupported here.
 
@@ -152,7 +163,8 @@ class ShardedRanker:
         if model.sharding_spec() is None:
             return None
         return cls(model, num_shards, start_method=start_method,
-                   tracer=tracer, metrics=metrics, hedge=hedge)
+                   tracer=tracer, metrics=metrics, hedge=hedge,
+                   lazy_slabs=lazy_slabs)
 
     @property
     def num_shards(self) -> int:
@@ -230,7 +242,7 @@ class ShardedRanker:
         healthy duplicate.
         """
         shard = self.plan.ranges[index]
-        points = self.plan.table.ndarray[shard.start:shard.stop]
+        points = self.plan.rows(shard)
         distances = self._scorer.score(points, payload["payload"])
         if payload["mode"] == "all":
             return {"distances": distances}

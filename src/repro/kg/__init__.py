@@ -7,6 +7,8 @@ from .graph import KnowledgeGraph, Triple
 from .groups import GroupAssignment
 from .io import load_kg, load_splits, save_kg, save_splits
 from .stats import GraphStats, RelationProfile, format_stats, graph_stats, profile_relation
+from .xl import (EXACT_ENTITY_LIMIT, XlSplitSummary, fb15k_xl,
+                 fb15k_xl_config, load_summary, stream_splits, stream_triples)
 
 __all__ = [
     "KnowledgeGraph", "Triple",
@@ -17,4 +19,6 @@ __all__ = [
     "save_kg", "load_kg", "save_splits", "load_splits",
     "GraphStats", "RelationProfile", "graph_stats", "profile_relation",
     "format_stats",
+    "EXACT_ENTITY_LIMIT", "XlSplitSummary", "stream_triples", "stream_splits",
+    "fb15k_xl", "fb15k_xl_config", "load_summary",
 ]

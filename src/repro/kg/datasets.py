@@ -165,7 +165,11 @@ def generate_kg(config: GeneratorConfig) -> KnowledgeGraph:
     rng = np.random.default_rng(config.seed)
     latents = rng.uniform(0, 2 * np.pi, size=(config.num_entities, config.latent_dim))
     triples: list[Triple] = []
+    # per-relation slices of `triples`, so inverse relations mirror their
+    # source in O(source) instead of rescanning the full list per inverse
+    by_relation: dict[int, slice] = {}
     for rel_id, spec in enumerate(config.relations):
+        start = len(triples)
         if spec.kind == "rotation":
             triples.extend(_rotation_triples(rel_id, spec, latents, rng))
         elif spec.kind == "community":
@@ -174,8 +178,9 @@ def generate_kg(config: GeneratorConfig) -> KnowledgeGraph:
         elif spec.kind == "hierarchy":
             triples.extend(_hierarchy_triples(rel_id, config.num_entities, rng))
         elif spec.kind == "inverse":
-            mirrored = [t for t in triples if t[1] == spec.inverse_of]
+            mirrored = triples[by_relation[spec.inverse_of]]
             triples.extend((tail, rel_id, head) for head, _, tail in mirrored)
+        by_relation[rel_id] = slice(start, len(triples))
     relation_names = [f"{spec.kind}_{i}" for i, spec in enumerate(config.relations)]
     return KnowledgeGraph(config.num_entities, len(config.relations), triples,
                           relation_names=relation_names)

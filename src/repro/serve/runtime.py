@@ -75,6 +75,10 @@ class ServeConfig:
     #: worker processes; silently falls back to in-process when the
     #: model or platform does not support sharding)
     num_shards: int = 0
+    #: publish lazy per-shard embedding slabs instead of one whole-table
+    #: segment (None = auto: on at ShardedRanker.LAZY_SLAB_THRESHOLD
+    #: entities, where worker-side mapping cost starts to matter)
+    lazy_shard_slabs: bool | None = None
     #: hedge straggling shard requests: duplicate a reply overdue past
     #: ``hedge_delay_factor`` × the p95 reply latency in the parent,
     #: first reply wins (bitwise-identical results either way)
@@ -225,7 +229,8 @@ class ServeRuntime:
             # so per-shard worker metrics surface in stats()/ /metrics
             self._ranker = ShardedRanker.for_model(
                 model, self.config.num_shards, tracer=self.tracer,
-                metrics=self.metrics, hedge=hedge)
+                metrics=self.metrics, hedge=hedge,
+                lazy_slabs=self.config.lazy_shard_slabs)
         self.metrics.gauge("shards").set(
             self._ranker.num_shards if self._ranker is not None else 0)
         self._latency = self.metrics.histogram("latency_ms")

@@ -7,6 +7,8 @@ against ranking the full table at once.  Equality is asserted bitwise on
 both ids and values, including ties, for every shard count.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -21,7 +23,12 @@ pytestmark = pytest.mark.dist
 def sharded_topk(distances: np.ndarray, num_shards: int, k: int):
     """Reference implementation of what the worker pool computes."""
     ids, vals = [], []
-    for shard in partition_rows(distances.shape[-1], num_shards):
+    with warnings.catch_warnings():
+        # requesting more shards than entities clamps with a warning;
+        # these tests exercise that edge on purpose
+        warnings.simplefilter("ignore", RuntimeWarning)
+        ranges = partition_rows(distances.shape[-1], num_shards)
+    for shard in ranges:
         block = distances[..., shard.start:shard.stop]
         local = topk_rows(block, k)
         ids.append(local + shard.start)
@@ -36,6 +43,33 @@ def sharded_topk(distances: np.ndarray, num_shards: int, k: int):
        k=st.integers(min_value=1, max_value=40))
 def test_merge_equals_single_process(data, num_shards, batch, k):
     n = data.draw(st.integers(min_value=num_shards, max_value=64),
+                  label="num_entities")
+    raw = data.draw(st.lists(
+        st.lists(st.integers(min_value=0, max_value=4),
+                 min_size=n, max_size=n),
+        min_size=batch, max_size=batch), label="distances")
+    distances = np.asarray(raw, dtype=np.float64)
+
+    expect_ids = topk_rows(distances, k)
+    expect_vals = np.take_along_axis(distances, expect_ids, axis=-1)
+    got_ids, got_vals = sharded_topk(distances, num_shards, k)
+
+    assert np.array_equal(got_ids, expect_ids)
+    assert np.array_equal(got_vals, expect_vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(),
+       num_shards=st.integers(min_value=1, max_value=12),
+       batch=st.integers(min_value=1, max_value=3),
+       k=st.integers(min_value=1, max_value=50))
+def test_tiny_shards_high_k_equals_single_process(data, num_shards,
+                                                  batch, k):
+    """The ISSUE-8 edge: entity counts *below* the shard count (clamped
+    to one-row shards) and k far beyond any shard's width — the merge
+    must clip and stay bitwise equal to the single-process path, never
+    raise."""
+    n = data.draw(st.integers(min_value=1, max_value=2 * num_shards),
                   label="num_entities")
     # coarse grid => frequent exact ties across shard boundaries
     raw = data.draw(st.lists(
@@ -88,6 +122,18 @@ def test_partition_rows_is_contiguous_and_balanced():
             sizes = [len(r) for r in ranges]
             assert max(sizes) - min(sizes) <= 1
     with pytest.raises(ValueError):
-        partition_rows(3, 4)
-    with pytest.raises(ValueError):
         partition_rows(3, 0)
+    with pytest.raises(ValueError):
+        partition_rows(0, 4)
+
+
+def test_partition_rows_clamps_oversubscription():
+    """More shards than rows clamps to one row per shard and warns —
+    `cli serve --shards 8` on a tiny graph must serve, not crash."""
+    with pytest.warns(RuntimeWarning, match="clamping"):
+        ranges = partition_rows(3, 8)
+    assert len(ranges) == 3
+    assert [(r.start, r.stop) for r in ranges] == [(0, 1), (1, 2), (2, 3)]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # exact fit must NOT warn
+        assert len(partition_rows(4, 4)) == 4

@@ -1,0 +1,206 @@
+"""Lazy per-shard slabs, chunked fills, and the oversubscription clamp.
+
+The lazy layout must be indistinguishable from the whole-table layout
+through every consumer-visible surface: ``shard_spec`` attach + slice,
+``rows()``, write-through ``update``, and the live ``ShardedRanker``
+(bitwise-equal rankings).  The clamp must turn the former
+``partition_rows`` crash into a working (smaller) plan whose effective
+shard count surfaces in the serving ``shards`` gauge.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.topk import topk_rows
+from repro.dist import EntityShardPlan, SharedArray, ShardedRanker
+
+from .conftest import requires_shm
+
+pytestmark = [pytest.mark.dist, pytest.mark.scaling]
+
+
+# ----------------------------------------------------------------------
+# SharedArray: create-empty + chunked fill
+# ----------------------------------------------------------------------
+
+@requires_shm
+def test_create_empty_then_chunked_fill():
+    source = np.random.default_rng(0).normal(size=(513, 6))
+    with SharedArray.create_empty(source.shape, source.dtype) as shared:
+        assert not shared.ndarray.any()  # fresh segments are zeroed
+        shared.fill(source, chunk_rows=64)
+        assert np.array_equal(shared.ndarray, source)
+
+
+@requires_shm
+def test_create_copies_noncontiguous_sources_once():
+    base = np.arange(400, dtype=np.float64).reshape(100, 4)
+    strided = base[::2]  # non-contiguous view
+    with SharedArray.create(strided) as shared:
+        assert np.array_equal(shared.ndarray, strided)
+
+
+@requires_shm
+def test_fill_rejects_row_mismatch():
+    with SharedArray.create_empty((10, 3), np.float64) as shared:
+        with pytest.raises(ValueError):
+            shared.fill(np.zeros((9, 3)))
+
+
+@requires_shm
+def test_fill_accepts_memmap_sources(tmp_path):
+    """xl path: the source never needs to be a resident ndarray."""
+    path = tmp_path / "table.npy"
+    source = np.random.default_rng(1).normal(size=(257, 5))
+    np.save(path, source)
+    mapped = np.load(path, mmap_mode="r")
+    with SharedArray.create_empty(source.shape, source.dtype) as shared:
+        shared.fill(mapped, chunk_rows=50)
+        assert np.array_equal(shared.ndarray, source)
+    with EntityShardPlan(np.load(path, mmap_mode="r"), 3,
+                         lazy=True) as plan:
+        for rng in plan.ranges:
+            assert np.array_equal(plan.rows(rng),
+                                  source[rng.start:rng.stop])
+
+
+# ----------------------------------------------------------------------
+# EntityShardPlan: lazy slabs == whole-table plan
+# ----------------------------------------------------------------------
+
+@requires_shm
+@pytest.mark.parametrize("num_shards", [2, 3, 5])
+def test_lazy_plan_matches_table_plan(num_shards):
+    points = np.random.default_rng(2).uniform(size=(101, 4))
+    with EntityShardPlan(points, num_shards) as table, \
+            EntityShardPlan(points, num_shards, lazy=True) as lazy:
+        assert table.ranges == lazy.ranges
+        for rng in table.ranges:
+            assert np.array_equal(table.rows(rng), lazy.rows(rng))
+            spec, shard = lazy.shard_spec(rng.index)
+            assert spec.row_offset == shard.start
+            assert spec.shape == (len(shard), 4)
+            attached = spec.attach()
+            try:
+                view = attached.ndarray[shard.start - spec.row_offset:
+                                        shard.stop - spec.row_offset]
+                assert np.array_equal(view,
+                                      points[shard.start:shard.stop])
+            finally:
+                attached.close()
+
+
+@requires_shm
+def test_lazy_plan_write_through_update():
+    points = np.random.default_rng(3).uniform(size=(64, 3))
+    with EntityShardPlan(points, 4, lazy=True, chunk_rows=7) as plan:
+        attached = [plan.shard_spec(i)[0].attach() for i in range(4)]
+        try:
+            plan.update(points + 1.0)
+            for shard, view in zip(plan.ranges, attached):
+                assert np.array_equal(
+                    view.ndarray, points[shard.start:shard.stop] + 1.0)
+        finally:
+            for view in attached:
+                view.close()
+        with pytest.raises(ValueError):
+            plan.update(points[:10])
+
+
+@requires_shm
+def test_plan_clamps_shards_to_entity_count():
+    points = np.random.default_rng(4).uniform(size=(3, 2))
+    with pytest.warns(RuntimeWarning, match="clamping"):
+        plan = EntityShardPlan(points, 8)
+    with plan:
+        assert plan.num_shards == 3
+        assert [len(r) for r in plan.ranges] == [1, 1, 1]
+
+
+# ----------------------------------------------------------------------
+# ShardedRanker over both layouts + the clamped tiny-graph path
+# ----------------------------------------------------------------------
+
+def _reference(model, queries, k):
+    embedding = model.embed_batch(queries)
+    distances = model.distance_to_all(embedding).data
+    ids = topk_rows(distances, k)
+    return embedding, ids, np.take_along_axis(distances, ids, axis=-1)
+
+
+@requires_shm
+def test_lazy_ranker_bitwise_equal(model, queries):
+    embedding, ids, vals = _reference(model, queries, 10)
+    with ShardedRanker.for_model(model, 3, lazy_slabs=True) as ranker:
+        assert ranker.plan.lazy
+        got_ids, got_vals = ranker.topk(embedding, 10)
+        assert np.array_equal(got_ids, ids)
+        assert np.array_equal(got_vals, vals)
+        ranker.refresh()  # lazy write-through refresh keeps parity
+        got_ids, got_vals = ranker.topk(embedding, 10)
+        assert np.array_equal(got_ids, ids)
+
+
+@requires_shm
+def test_auto_lazy_threshold(model):
+    """Small models stay on the whole-table layout by default."""
+    with ShardedRanker.for_model(model, 2) as ranker:
+        assert not ranker.plan.lazy
+
+
+@requires_shm
+def test_more_shards_than_entities_serves_clamped():
+    """The ISSUE-8 crash: --shards 8 on a tiny graph must rank."""
+    from repro.config import ModelConfig
+    from repro.core import HalkModel
+    from repro.kg import KnowledgeGraph
+    from repro.queries import Entity, Projection
+
+    rng = np.random.default_rng(5)
+    n = 5
+    triples = [(int(rng.integers(n)), 0, int(rng.integers(n)))
+               for _ in range(10)]
+    kg = KnowledgeGraph(n, 1, triples)
+    tiny = HalkModel(kg, ModelConfig(embedding_dim=4, seed=0))
+    tiny_queries = [Projection(0, Entity(h)) for h, _, _ in triples[:3]]
+    embedding, ids, vals = _reference(tiny, tiny_queries, 4)
+    with pytest.warns(RuntimeWarning, match="clamping"):
+        ranker = ShardedRanker.for_model(tiny, 8)
+    with ranker:
+        assert ranker.num_shards == n
+        got_ids, got_vals = ranker.topk(embedding, 4)
+        assert np.array_equal(got_ids, ids)
+        assert np.array_equal(got_vals, vals)
+        # k beyond the whole vocabulary clips instead of raising
+        got_ids, _ = ranker.topk(embedding, 99)
+        assert got_ids.shape[-1] == n
+
+
+@requires_shm
+@pytest.mark.serve
+def test_serve_runtime_surfaces_clamped_shard_gauge():
+    """ServeRuntime(--shards 8) on a tiny graph: serves, and the
+    ``shards`` gauge reports the clamped effective count."""
+    from repro.config import ModelConfig
+    from repro.core import HalkModel
+    from repro.kg import KnowledgeGraph
+    from repro.queries import Entity, Projection
+    from repro.serve import ServeConfig, ServeRuntime
+
+    rng = np.random.default_rng(6)
+    n = 6
+    triples = [(int(rng.integers(n)), 0, int(rng.integers(n)))
+               for _ in range(12)]
+    kg = KnowledgeGraph(n, 1, triples)
+    tiny = HalkModel(kg, ModelConfig(embedding_dim=4, seed=1))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with ServeRuntime(tiny, kg=kg,
+                          config=ServeConfig(num_shards=8,
+                                             num_workers=1)) as runtime:
+            gauge = runtime.metrics.gauge("shards").value
+            assert gauge == n  # clamped, not the requested 8
+            result = runtime.answer(Projection(0, Entity(0)), top_k=3)
+            assert len(result.entity_ids) == 3
