@@ -254,6 +254,48 @@ def cmd_answer(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    import json as json_module
+
+    from .plan import PlanCompiler, plan_to_json, render_plan
+    from .queries import QuerySampler, get_structure
+    from .queries.printing import to_text
+
+    splits = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if args.sparql:
+        engine = SparqlEngine(splits.train)
+        queries = [engine.compile(s) for s in args.sparql]
+    else:
+        sampler = QuerySampler(splits.train, splits.test, seed=args.seed)
+        structures = args.structure or ["2i", "2i", "3p"]
+        queries = [sampler.sample(get_structure(name)).query
+                   for name in structures for _ in range(args.count)]
+    compiler = PlanCompiler(dnf=not args.no_dnf)
+    compiled = compiler.compile(queries)
+    # fresh compiler => a query hits the template cache iff an earlier
+    # query in this batch shares its structure key
+    seen: set[str] = set()
+    hits = []
+    for key in compiled.structure_keys:
+        hits.append(key in seen)
+        seen.add(key)
+    kg = splits.train if args.names else None
+    if args.json:
+        payload = plan_to_json(compiled.plan,
+                               structure_keys=compiled.structure_keys,
+                               cache_hits=hits)
+        payload["queries"] = [to_text(q, kg) for q in queries]
+        print(json_module.dumps(payload, indent=2))
+        return 0
+    print("queries:")
+    for position, query in enumerate(queries):
+        print(f"  q{position}: {to_text(query, kg)}")
+    print()
+    print(render_plan(compiled.plan, structure_keys=compiled.structure_keys,
+                      cache_hits=hits, kg=kg))
+    return 0
+
+
 def cmd_serve(args) -> int:
     from .ann import LshIndex
     from .queries import QuerySampler, get_structure
@@ -279,6 +321,7 @@ def cmd_serve(args) -> int:
                          answer_ttl=args.answer_ttl,
                          default_deadline=args.deadline,
                          num_shards=getattr(args, "shards", 0),
+                         plan_compile=args.plan,
                          lazy_shard_slabs=getattr(args, "lazy_slabs", None),
                          hedge_shards=args.hedge,
                          http_port=args.http_port,
@@ -618,6 +661,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top-k", type=int, default=10)
     p.set_defaults(func=cmd_answer)
 
+    p = sub.add_parser("explain",
+                       help="print the compiled query plan (CSE/fusion "
+                            "annotations + structure-cache keys)")
+    common(p)
+    p.add_argument("sparql", nargs="*",
+                   help="SPARQL queries to compile together (default: "
+                        "sample --structure queries instead)")
+    p.add_argument("--structure", action="append", metavar="NAME",
+                   help="query structure to sample (repeatable; default "
+                        "2i 2i 3p — repeated structures demonstrate the "
+                        "plan cache and cross-query CSE)")
+    p.add_argument("--count", type=int, default=1,
+                   help="queries to sample per --structure")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable plan dump")
+    p.add_argument("--no-dnf", action="store_true",
+                   help="keep union ops instead of DNF-rewriting them "
+                        "(shows the symbolic form, not the serving plan)")
+    p.add_argument("--names", action="store_true",
+                   help="resolve entity/relation ids against the "
+                        "dataset vocabulary")
+    p.set_defaults(func=cmd_explain)
+
     p = sub.add_parser("serve",
                        help="drive the batched serving runtime")
     common(p)
@@ -670,6 +736,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hedge", action="store_true",
                    help="hedge straggling shard requests with a "
                         "parent-side duplicate (needs --shards > 0)")
+    p.add_argument("--plan", action="store_true",
+                   help="compile micro-batches through the repro.plan "
+                        "query-plan compiler (cross-query CSE, fused "
+                        "stacked kernels, structure-keyed plan cache)")
     p.add_argument("--hold", action="store_true",
                    help="after the demo workload, keep the runtime (and "
                         "its HTTP endpoints) alive until Ctrl-C")

@@ -192,6 +192,22 @@ class QueryModel(Module):
         return None
 
     # ------------------------------------------------------------------
+    # optional hook used by the plan compiler (repro.plan)
+    # ------------------------------------------------------------------
+    def plan_backend(self):
+        """Stacked-execution backend for compiled plans, or None.
+
+        Models that support :mod:`repro.plan` return an object with the
+        ``anchor``/``project``/``intersect``/``difference``/``negate``/
+        ``finalize`` primitives the plan executor schedules; embeddings
+        it produces must be accepted by :meth:`distance_to_all` and the
+        sharded ranking payload unchanged.  Default: unsupported (None),
+        in which case the serving runtime falls back to the interpretive
+        ``answer_batch`` path.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # optional hooks used by the sharded executor (repro.dist)
     # ------------------------------------------------------------------
     def sharding_spec(self):
@@ -370,6 +386,13 @@ class HalkModel(QueryModel):
 
     def query_points(self, embedding: HalkQueryEmbedding) -> list[np.ndarray]:
         return [arc.wrapped_center() for arc in embedding.branches]
+
+    # ------------------------------------------------------------------
+    # plan-compiler hook (repro.plan)
+    # ------------------------------------------------------------------
+    def plan_backend(self):
+        from ..plan.backend import HalkPlanBackend
+        return HalkPlanBackend(self)
 
     # ------------------------------------------------------------------
     # sharding hooks (repro.dist)

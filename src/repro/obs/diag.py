@@ -128,6 +128,10 @@ class FlightRecord:
     #: gateway admission→completion latency (0 when the gateway is off)
     total_ms: float = 0.0
     result_count: int = 0
+    #: compiled-plan shape (0/0 on the interpretive path): ops the
+    #: micro-batch would hold without CSE, and ops actually executed
+    plan_ops_total: int = 0
+    plan_ops_executed: int = 0
     #: shard fan-out of the ranking pass (0 = in-process)
     shards: int = 0
     #: hedge wins during this request's ranking gather (the batch's

@@ -1,0 +1,163 @@
+"""Model backends that execute plan ops over stacked value rows.
+
+The executor (:mod:`repro.plan.executor`) schedules a compiled DAG as a
+sequence of *stacked* primitive calls — every op of one kind at one depth
+runs as a single batched kernel invocation, regardless of which query
+each row belongs to.  A backend supplies those primitives.
+
+:class:`HalkPlanBackend` mirrors :meth:`repro.core.model.HalkModel._embed`
+operation for operation: the same embedding lookups, the same operator
+modules, the same signature arithmetic.  Because every HaLk kernel is
+row-wise (elementwise ops, ``sum(axis=-1)`` reductions, per-row matmuls,
+softmax over the *operand* axis), a row's bits do not depend on which
+other rows share its batch — with one caveat: numpy dispatches ``(1, d)``
+matmuls to a different kernel than ``(m≥2, d)`` ones, and the two can
+differ in the last ulp.  The backend therefore pads single-row groups to
+two rows (duplicating the row, slicing the result), which keeps compiled
+execution bitwise batch-composition-invariant and bitwise equal to the
+interpretive ``embed_batch`` whenever the interpretive batch itself has
+``B ≥ 2`` (see DESIGN.md §12 and tests/plan/).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.arc import Arc
+from ..core.model import HalkModel, HalkQueryEmbedding
+from ..nn import F, Tensor
+
+__all__ = ["ArcRows", "HalkPlanBackend", "stack_rows"]
+
+
+@dataclass
+class ArcRows:
+    """The value of one or more plan ops under the HaLk backend.
+
+    One row per op: an arc batch plus the per-row multi-hot group
+    signature — exactly the ``(Arc, signature)`` pair ``_embed`` threads
+    through its recursion.
+    """
+
+    arc: Arc
+    signature: np.ndarray  # (m, G)
+
+    @property
+    def rows(self) -> int:
+        return self.arc.batch_size
+
+    def row(self, index: int) -> "ArcRows":
+        """One-row view of row ``index`` (detached; plans run inference)."""
+        arc = Arc(self.arc.center[index:index + 1].detach(),
+                  self.arc.length[index:index + 1].detach(),
+                  self.arc.radius)
+        return ArcRows(arc, self.signature[index:index + 1])
+
+    def first(self, m: int) -> "ArcRows":
+        """Drop padding rows, keeping the first ``m``."""
+        if self.rows == m:
+            return self
+        arc = Arc(self.arc.center[:m].detach(), self.arc.length[:m].detach(),
+                  self.arc.radius)
+        return ArcRows(arc, self.signature[:m])
+
+    def take(self, rows: np.ndarray) -> "ArcRows":
+        """Gather ``rows`` into a new stacked batch (one fancy index per
+        field — the executor's bulk alternative to per-row :meth:`row`)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        arc = Arc(Tensor(self.arc.center.data[rows]),
+                  Tensor(self.arc.length.data[rows]), self.arc.radius)
+        return ArcRows(arc, self.signature[rows])
+
+
+def stack_rows(states: list[ArcRows]) -> ArcRows:
+    """Concatenate per-op rows into one stacked batch."""
+    if len(states) == 1:
+        return states[0]
+    radius = states[0].arc.radius
+    arc = Arc(Tensor(np.concatenate([s.arc.center.data for s in states])),
+              Tensor(np.concatenate([s.arc.length.data for s in states])),
+              radius)
+    return ArcRows(arc, np.concatenate([s.signature for s in states]))
+
+
+def _pad(state: ArcRows) -> ArcRows:
+    """Duplicate a lone row so matmuls hit the stable ``m ≥ 2`` kernel."""
+    return stack_rows([state, state])
+
+
+class HalkPlanBackend:
+    """Stacked plan primitives over a :class:`HalkModel`.
+
+    Every method reproduces one branch of ``HalkModel._embed`` verbatim;
+    the only additions are the single-row padding (see module docstring)
+    and the explicit stacking interface.
+    """
+
+    def __init__(self, model: HalkModel):
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # op primitives (one stacked kernel call each)
+    # ------------------------------------------------------------------
+    def anchor(self, entity_ids) -> ArcRows:
+        ids = np.asarray(entity_ids, dtype=np.int64)
+        points = F.wrap_angle(self.model.entity_points(ids))
+        return ArcRows(Arc.from_points(points, self.model.config.radius),
+                       self.model.groups.one_hot[ids].copy())
+
+    def project(self, relation_ids, operand: ArcRows) -> ArcRows:
+        ids = np.asarray(relation_ids, dtype=np.int64)
+        m = operand.rows
+        if m == 1:
+            operand = _pad(operand)
+            ids = np.concatenate([ids, ids])
+        relation = Arc(self.model.relation_center(ids),
+                       self.model.relation_length(ids),
+                       self.model.config.radius)
+        out = self.model.projection(operand.arc, relation)
+        reached = np.einsum("bg,bgh->bh", operand.signature,
+                            self.model.groups.adjacency[ids])
+        return ArcRows(out, (reached > 0).astype(np.float64)).first(m)
+
+    def intersect(self, operands: list[ArcRows]) -> ArcRows:
+        m = operands[0].rows
+        if m == 1:
+            operands = [_pad(state) for state in operands]
+        sigs = [state.signature for state in operands]
+        target_sig = sigs[0]
+        for sig in sigs[1:]:
+            target_sig = target_sig * sig
+        # z_i = 1 / (‖h_Ui − h_Ut‖ + 1), Eq. (10)
+        z = np.stack([1.0 / (np.abs(sig - target_sig).sum(axis=-1) + 1.0)
+                      for sig in sigs], axis=0)
+        out = self.model.intersection([state.arc for state in operands], z)
+        return ArcRows(out, target_sig).first(m)
+
+    def difference(self, operands: list[ArcRows]) -> ArcRows:
+        m = operands[0].rows
+        if m == 1:
+            operands = [_pad(state) for state in operands]
+        out = self.model.difference([state.arc for state in operands])
+        return ArcRows(out, operands[0].signature).first(m)
+
+    def negate(self, operand: ArcRows) -> ArcRows:
+        m = operand.rows
+        if m == 1:
+            operand = _pad(operand)
+        out = self.model.negation(operand.arc)
+        return ArcRows(out, np.ones_like(operand.signature)).first(m)
+
+    # ------------------------------------------------------------------
+    # rank-stage assembly
+    # ------------------------------------------------------------------
+    def finalize(self, branches: list[ArcRows]) -> HalkQueryEmbedding:
+        """Assemble stacked branch values into a rankable embedding."""
+        signature: np.ndarray | None = None
+        for state in branches:
+            signature = state.signature if signature is None else \
+                np.maximum(signature, state.signature)
+        return HalkQueryEmbedding([state.arc for state in branches],
+                                  signature)

@@ -1,0 +1,254 @@
+"""Plan execution: stacked model evaluation and the symbolic oracle.
+
+Two executors share the same compiled :class:`repro.plan.ir.Plan`:
+
+* :func:`execute_plan` — the serving path.  It schedules the DAG as
+  *fused stages*: every op of one kind (and operand arity) at one depth
+  becomes a single stacked backend call, so a batch of 64 ``3p`` queries
+  pays three projection kernels instead of 192, and CSE-shared ops are
+  computed once and read from the value table by every consumer
+  (per-op memoisation is the value table itself — SSA ids are computed
+  exactly once).
+* :func:`execute_symbolic` — the exact set-semantics oracle, mirroring
+  :func:`repro.queries.executor.execute` per op.  It exists to prove the
+  lowering correct: plan execution over sets must equal the interpretive
+  executor on every structure (tests/plan/).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from ..core.arc import Arc
+from ..kg.graph import KnowledgeGraph
+from ..nn import Tensor, no_grad
+from ..obs.trace import get_tracer
+from .backend import ArcRows
+from .ir import (AnchorOp, DifferenceOp, IntersectOp, NegateOp, Plan,
+                 ProjectOp, RankOp, UnionOp, op_inputs, op_kind)
+
+__all__ = ["StageGroup", "RankGroup", "schedule", "execute_plan",
+           "execute_symbolic", "plan_answer_batch"]
+
+
+@dataclass(frozen=True)
+class StageGroup:
+    """One fused execution stage: same-depth, same-kind ops stacked."""
+
+    depth: int
+    kind: str
+    arity: int
+    ops: tuple[int, ...]
+
+
+def schedule(plan: Plan) -> list[StageGroup]:
+    """Group non-rank ops into fused stages, shallowest first.
+
+    Grouping by ``(depth, kind, arity)`` is the fusion rule: ops in one
+    group have no data dependencies on each other (same depth), take the
+    same kernel (same kind/arity), and therefore run as one stacked call.
+    Deterministic: groups sort by key, ops within a group keep SSA order.
+    Memoised per plan (plans are immutable after construction).
+    """
+    cached = getattr(plan, "_stages", None)
+    if cached is not None:
+        return cached
+    depths = plan.depths()
+    groups: dict[tuple[int, str, int], list[int]] = {}
+    for index, op in enumerate(plan.ops):
+        if isinstance(op, RankOp):
+            continue
+        key = (depths[index], op_kind(op), len(op_inputs(op)))
+        groups.setdefault(key, []).append(index)
+    stages = [StageGroup(depth, kind, arity, tuple(ops))
+              for (depth, kind, arity), ops in sorted(groups.items())]
+    plan._stages = stages
+    return stages
+
+
+class _Slot(NamedTuple):
+    """Where a computed value lives: one row of a stage's result block."""
+
+    block: ArcRows
+    row: int
+
+
+def _gather(values: list, ids) -> ArcRows:
+    """Stack the rows behind value ids ``ids`` into one batch.
+
+    Bulk counterpart of per-row slicing: one fancy-index per source
+    block and field, so a stage's operand assembly costs O(blocks)
+    kernels instead of O(rows) Tensor slices.  Gathers copy bits
+    verbatim, preserving the backend's bitwise guarantees.
+    """
+    slots = [values[i] for i in ids]
+    first = slots[0].block
+    if all(slot.block is first for slot in slots):
+        return first.take([slot.row for slot in slots])
+    by_block: dict[int, tuple[ArcRows, list[int], list[int]]] = {}
+    for position, slot in enumerate(slots):
+        entry = by_block.get(id(slot.block))
+        if entry is None:
+            entry = (slot.block, [], [])
+            by_block[id(slot.block)] = entry
+        entry[1].append(position)
+        entry[2].append(slot.row)
+    n = len(slots)
+    center = np.empty((n,) + first.arc.center.data.shape[1:],
+                      dtype=first.arc.center.data.dtype)
+    length = np.empty((n,) + first.arc.length.data.shape[1:],
+                      dtype=first.arc.length.data.dtype)
+    signature = np.empty((n,) + first.signature.shape[1:],
+                         dtype=first.signature.dtype)
+    for block, positions, rows in by_block.values():
+        center[positions] = block.arc.center.data[rows]
+        length[positions] = block.arc.length.data[rows]
+        signature[positions] = block.signature[rows]
+    return ArcRows(Arc(Tensor(center), Tensor(length), first.arc.radius),
+                   signature)
+
+
+@dataclass
+class RankGroup:
+    """Queries sharing one branch count, embedded as one stacked batch.
+
+    ``positions`` index :attr:`Plan.roots` (i.e. the batch's query
+    order); row ``i`` of ``embedding`` answers query
+    ``positions[i]``.
+    """
+
+    positions: tuple[int, ...]
+    embedding: object
+
+
+def execute_plan(plan: Plan, backend, tracer=None) -> list[RankGroup]:
+    """Evaluate a DNF plan with stacked kernels; one RankGroup per shape.
+
+    The returned embeddings feed the normal ranking path
+    (``distance_to_all``/``topk_rows`` or a ``ShardedRanker``) unchanged.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    values: list[object] = [None] * len(plan.ops)
+    with no_grad(), tracer.span("plan.execute", ops=len(plan.ops),
+                                queries=plan.num_queries):
+        for group in schedule(plan):
+            with tracer.span("plan.stage", depth=group.depth,
+                             kind=group.kind, ops=len(group.ops)):
+                _run_stage(plan, group, values, backend)
+        with tracer.span("plan.finalize"):
+            by_branches: dict[int, list[int]] = {}
+            for position, root in enumerate(plan.roots):
+                count = len(plan.ops[root].branches)
+                by_branches.setdefault(count, []).append(position)
+            out: list[RankGroup] = []
+            for count, positions in sorted(by_branches.items()):
+                branches = []
+                for branch_index in range(count):
+                    branches.append(_gather(values, [
+                        plan.ops[plan.roots[p]].branches[branch_index]
+                        for p in positions]))
+                out.append(RankGroup(tuple(positions),
+                                     backend.finalize(branches)))
+    return out
+
+
+def _run_stage(plan: Plan, group: StageGroup, values, backend) -> None:
+    """Execute one fused stage and scatter per-op rows into the table."""
+    ops = [plan.ops[i] for i in group.ops]
+    if group.kind == "anchor":
+        result = backend.anchor([op.entity for op in ops])
+    elif group.kind == "project":
+        result = backend.project(
+            [op.relation for op in ops],
+            _gather(values, [op.operand for op in ops]))
+    elif group.kind == "negate":
+        result = backend.negate(
+            _gather(values, [op.operand for op in ops]))
+    elif group.kind in ("intersect", "difference"):
+        columns = [_gather(values, [op.operands[position] for op in ops])
+                   for position in range(group.arity)]
+        primitive = backend.intersect if group.kind == "intersect" \
+            else backend.difference
+        result = primitive(columns)
+    elif group.kind == "union":
+        raise ValueError(
+            "model backends require DNF plans; lower with dnf=True")
+    else:  # pragma: no cover - exhaustive over the IR
+        raise TypeError(f"unknown op kind: {group.kind}")
+    for row, index in enumerate(group.ops):
+        values[index] = _Slot(result, row)
+
+
+def execute_symbolic(plan: Plan, kg: KnowledgeGraph) -> list[set[int]]:
+    """Exact answer sets of every query in the plan, in root order.
+
+    Mirrors :func:`repro.queries.executor.execute` op for op (the
+    universal set for negation is the full vocabulary; difference is the
+    first operand minus the rest).  Handles :class:`UnionOp`, so non-DNF
+    plans are executable here — the equivalence tests use that to prove
+    the DNF rewrite semantics-preserving at the plan level.
+    """
+    values: list[set[int]] = []
+    for op in plan.ops:
+        if isinstance(op, AnchorOp):
+            if not 0 <= op.entity < kg.num_entities:
+                raise ValueError(f"anchor entity {op.entity} not in graph")
+            result = {op.entity}
+        elif isinstance(op, ProjectOp):
+            result = kg.project(values[op.operand], op.relation)
+        elif isinstance(op, IntersectOp):
+            result = set(values[op.operands[0]])
+            for value in op.operands[1:]:
+                result &= values[value]
+        elif isinstance(op, (UnionOp, RankOp)):
+            result = set()
+            for value in op_inputs(op):
+                result |= values[value]
+        elif isinstance(op, DifferenceOp):
+            result = set(values[op.operands[0]])
+            for value in op.operands[1:]:
+                result -= values[value]
+        elif isinstance(op, NegateOp):
+            result = set(range(kg.num_entities)) - values[op.operand]
+        else:  # pragma: no cover - exhaustive over the IR
+            raise TypeError(f"unknown op type: {type(op).__name__}")
+        values.append(result)
+    return [set(values[root]) for root in plan.roots]
+
+
+def plan_answer_batch(queries, model, top_k: int = 10, compiler=None,
+                      ranker=None) -> list[list[int]]:
+    """Compiled counterpart of :meth:`QueryModel.answer_batch`.
+
+    Compile → execute → rank, returning top-k ids in input order.  With
+    ``compiler`` the structure-template cache is consulted; without, the
+    batch is lowered directly.  ``ranker`` may be a
+    :class:`repro.dist.ShardedRanker`, exactly as in ``answer_batch``.
+    """
+    from ..core.topk import topk_rows
+    from .compiler import lower
+
+    backend = model.plan_backend()
+    if backend is None:
+        raise ValueError(f"model {model.name!r} has no plan backend")
+    if compiler is not None:
+        plan = compiler.compile(queries).plan
+    else:
+        plan = lower(queries)
+    tracer = get_tracer()
+    out: list[list[int]] = [[] for _ in range(plan.num_queries)]
+    for group in execute_plan(plan, backend):
+        if ranker is not None:
+            with tracer.span("plan.rank", queries=len(group.positions)):
+                top, _ = ranker.topk(group.embedding, top_k)
+        else:
+            with no_grad(), tracer.span("plan.rank",
+                                        queries=len(group.positions)):
+                distances = model.distance_to_all(group.embedding).data
+                top = topk_rows(distances, top_k)
+        for row, position in enumerate(group.positions):
+            out[position] = [int(e) for e in top[row]]
+    return out

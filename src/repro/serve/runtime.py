@@ -84,6 +84,14 @@ class ServeConfig:
     #: first reply wins (bitwise-identical results either way)
     hedge_shards: bool = False
     hedge_delay_factor: float = 1.5
+    #: compile micro-batches through the ``repro.plan`` query-plan
+    #: compiler: requests of *all* structures coalesce into one batch,
+    #: shared sub-plans across queries execute once (CSE) and same-depth
+    #: ops fuse into stacked kernel calls; silently falls back to the
+    #: interpretive path when the model has no ``plan_backend()``
+    plan_compile: bool = False
+    #: compiled-plan template cache entries (keyed by structure)
+    plan_cache_size: int = 256
     #: mount the telemetry HTTP server (``/metrics`` ``/healthz``
     #: ``/statusz``) on this port; None = no HTTP, 0 = ephemeral port
     #: (the bound port is ``runtime.http_server.port``)
@@ -233,6 +241,17 @@ class ServeRuntime:
                 lazy_slabs=self.config.lazy_shard_slabs)
         self.metrics.gauge("shards").set(
             self._ranker.num_shards if self._ranker is not None else 0)
+        # query-plan compiler (repro.plan): active only when asked for
+        # AND the model supplies a stacked-execution backend
+        self._planner = None
+        self._plan_backend = None
+        if self.config.plan_compile:
+            self._plan_backend = model.plan_backend()
+            if self._plan_backend is not None:
+                from ..plan import PlanCompiler
+                self._planner = PlanCompiler(
+                    cache_size=self.config.plan_cache_size,
+                    metrics=self.metrics, tracer=self.tracer)
         self._latency = self.metrics.histogram("latency_ms")
         self._batch_sizes = self.metrics.histogram("batch_size")
         self._queue_depth = self.metrics.gauge("queue_depth")
@@ -339,17 +358,22 @@ class ServeRuntime:
         # flush, _execute_batch overrun check).  Wall-clock time.time()
         # never enters deadline math anywhere in the serve/dist stack —
         # an NTP step must not expire (or resurrect) in-flight requests.
+        structure = batch_key(canonical)
+        # with the plan compiler active, every structure coalesces into
+        # ONE micro-batch group — cross-query CSE needs mixed batches,
+        # and the compiler re-groups by shape where it matters (ranking)
         request = _Pending(
             query=canonical, top_k=top_k, cache_key=key,
-            group_key=batch_key(canonical),
+            group_key="__plan__" if self._planner is not None
+            else structure,
             deadline=None if deadline is None else now + deadline,
             retries_left=self.config.max_retries, submitted_at=now,
             request_id=rid, diag=record, diag_owned=owned)
         if record is not None:
-            record.structure = request.group_key
+            record.structure = structure
             record.cache = "miss"
         if root is not None:
-            root.attrs["structure"] = request.group_key
+            root.attrs["structure"] = structure
             root.attrs["model_version"] = self._model_version
             request.trace_root = root
             request.trace_queue = tracer.start_span("serve.queue",
@@ -624,7 +648,9 @@ class ServeRuntime:
                     tracer.record("serve.rank", split, ended,
                                   parent=request.trace_root)
                 answers.append((request, [int(e) for e in ids[0]]))
-            if misses:
+            if misses and self._planner is not None:
+                answers.extend(self._plan_answer(misses))
+            elif misses:
                 shard_info = {} if any(r.diag is not None
                                        for r in misses) else None
                 embed_start = time.perf_counter()
@@ -669,6 +695,68 @@ class ServeRuntime:
                                     [int(e) for e in ids[i, :request.top_k]]))
         for request, entity_ids in answers:
             self._resolve(request, entity_ids, source="model")
+
+    def _plan_answer(self, misses: list[_Pending]):
+        """Compiled path: one shared DAG for the whole (mixed) batch.
+
+        Compile (template cache + cross-query CSE) → stacked execution →
+        one ranking pass per branch-count group through :meth:`_rank`,
+        so the sharded/hedged ranking machinery is reused unchanged.
+        Queries are already canonical (submit canonicalised them).
+        """
+        from ..plan import execute_plan
+
+        tracer = self.tracer
+        sharded = self._ranker is not None
+        compile_start = time.perf_counter()
+        compiled = self._planner.compile([r.query for r in misses],
+                                         canonical=True)
+        plan = compiled.plan
+        groups = execute_plan(plan, self._plan_backend, tracer=tracer)
+        embed_end = time.perf_counter()
+        answers: list[tuple[_Pending, list[int]]] = []
+        for group in groups:
+            requests = [misses[p] for p in group.positions]
+            shard_info: dict | None = {} if any(r.diag is not None
+                                                for r in requests) else None
+            group_start = time.perf_counter()
+            ids, split = self._rank(group.embedding,
+                                    max(r.top_k for r in requests),
+                                    request_id=requests[0].request_id,
+                                    shard_info=shard_info)
+            rank_end = time.perf_counter()
+            for row, request in enumerate(requests):
+                sliced = self.model.slice_embedding(group.embedding, row)
+                if sliced is not None:
+                    self._embeddings.put(request.cache_key, sliced)
+                if request.diag is not None:
+                    request.diag.embed_ms = \
+                        1000.0 * (embed_end - compile_start)
+                    request.diag.distance_ms = \
+                        1000.0 * (split - group_start)
+                    request.diag.rank_ms = 1000.0 * (rank_end - split)
+                    request.diag.plan_ops_total = plan.ops_total
+                    request.diag.plan_ops_executed = len(plan.ops)
+                    if shard_info:
+                        request.diag.shards = shard_info.get("shards", 0)
+                        request.diag.hedge_wins = \
+                            shard_info.get("hedge_wins", 0)
+                if request.trace_root is not None:
+                    tracer.record("serve.plan", compile_start, embed_end,
+                                  parent=request.trace_root,
+                                  batch_size=len(misses),
+                                  ops=len(plan.ops),
+                                  ops_saved=plan.ops_saved,
+                                  cache_hits=compiled.cache_hits)
+                    tracer.record("serve.distance", group_start, split,
+                                  parent=request.trace_root,
+                                  batch_size=len(requests),
+                                  sharded=sharded)
+                    tracer.record("serve.rank", split, rank_end,
+                                  parent=request.trace_root)
+                answers.append((request,
+                                [int(e) for e in ids[row, :request.top_k]]))
+        return answers
 
     # ------------------------------------------------------------------
     # graceful degradation

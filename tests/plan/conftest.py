@@ -1,0 +1,45 @@
+"""Shared fixtures for the query-plan compiler tests.
+
+A graph big enough (60 entities, 5 relations, dense) that the rejection
+sampler can ground every supported structure, and a small HaLk model so
+the equivalence suites run in tier-1 time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import HalkModel
+from repro.kg import KnowledgeGraph
+from repro.queries import QuerySampler, get_structure
+
+
+@pytest.fixture(scope="package")
+def kg() -> KnowledgeGraph:
+    rng = np.random.default_rng(7)
+    triples = {(int(rng.integers(60)), int(rng.integers(5)),
+                int(rng.integers(60))) for _ in range(520)}
+    return KnowledgeGraph(60, 5, sorted(triples))
+
+
+@pytest.fixture(scope="package")
+def model(kg) -> HalkModel:
+    return HalkModel(kg, ModelConfig(embedding_dim=12, hidden_dim=24,
+                                     seed=3))
+
+
+@pytest.fixture(scope="package")
+def sampler(kg) -> QuerySampler:
+    return QuerySampler(kg, seed=1)
+
+
+def sample_queries(sampler, structures, per=2):
+    """Grounded queries per structure; skips shapes that fail to ground."""
+    out = []
+    for name in structures:
+        for _ in range(per):
+            try:
+                out.append(sampler.sample(get_structure(name)).query)
+            except RuntimeError:
+                break
+    return out

@@ -1,0 +1,113 @@
+"""The compiled-plan path wired through the serving runtime.
+
+``ServeConfig(plan_compile=True)`` must be a pure optimisation: identical
+answers to the interpretive runtime, same cache semantics, plus the
+``plan_*`` counters in ``stats()``/Prometheus and compiled-plan shape
+stamps on flight records.
+"""
+
+import pytest
+
+from repro.serve import ServeConfig, ServeRuntime
+from repro.serve.http import render_prometheus
+
+from .conftest import sample_queries
+
+pytestmark = pytest.mark.plan
+
+MIX = ["1p", "2p", "3p", "2i", "3i", "ip", "pi", "2u", "up", "2d", "dp"]
+
+
+@pytest.fixture(scope="module")
+def workload(sampler_module):
+    batch = sample_queries(sampler_module, MIX, per=2)
+    assert len(batch) >= 12
+    return batch
+
+
+@pytest.fixture(scope="module")
+def sampler_module(kg):
+    from repro.queries import QuerySampler
+    return QuerySampler(kg, seed=5)
+
+
+def serve_all(runtime, batch, top_k=5):
+    futures = [runtime.submit(q, top_k=top_k) for q in batch]
+    return [f.result(timeout=30) for f in futures]
+
+
+class TestAnswerParity:
+    def test_plan_runtime_matches_interpretive_runtime(self, model, kg,
+                                                       workload):
+        config = ServeConfig(max_batch_size=64, flush_timeout=0.002,
+                             num_workers=1)
+        with ServeRuntime(model, kg=kg, config=config) as interpretive:
+            want = serve_all(interpretive, workload)
+        plan_config = ServeConfig(max_batch_size=64, flush_timeout=0.002,
+                                  num_workers=1, plan_compile=True)
+        with ServeRuntime(model, kg=kg, config=plan_config) as planned:
+            got = serve_all(planned, workload)
+            for theirs, ours in zip(want, got):
+                assert ours.source == "model"
+                assert list(ours.entity_ids) == list(theirs.entity_ids)
+            # answer + embedding caches still work on the plan path
+            again = serve_all(planned, workload)
+            assert all(r.source == "answer_cache" for r in again)
+            assert [list(r.entity_ids) for r in again] \
+                == [list(r.entity_ids) for r in got]
+
+
+class TestPlanMetrics:
+    @pytest.fixture()
+    def runtime(self, model, kg):
+        config = ServeConfig(max_batch_size=64, flush_timeout=0.002,
+                             num_workers=1, plan_compile=True)
+        with ServeRuntime(model, kg=kg, config=config) as runtime:
+            yield runtime
+
+    def test_counters_in_stats_and_prometheus(self, runtime, workload):
+        serve_all(runtime, workload)
+        snapshot = runtime.stats()
+        counters = snapshot.counters
+        assert counters["plan_cache_misses"] > 0
+        assert counters["plan_cache_hits"] \
+            + counters["plan_cache_misses"] >= len(workload)
+        assert counters["plan_ops_total"] >= counters["plan_ops_executed"]
+        text = render_prometheus(snapshot)
+        assert "repro_plan_cache_hits" in text
+        assert "repro_plan_cache_misses" in text
+        assert "repro_plan_cse_ops_saved" in text
+
+    def test_flight_records_stamp_plan_shape(self, runtime, workload):
+        results = serve_all(runtime, workload)
+        records = [runtime.diag.flight.get(r.request_id) for r in results]
+        assert all(r is not None for r in records)
+        model_records = [r for r in records if r.source == "model"]
+        assert model_records
+        for record in model_records:
+            assert record.plan_ops_total >= record.plan_ops_executed > 0
+            assert record.structure  # per-query key survives plan batching
+
+    def test_interpretive_records_have_zero_plan_shape(self, model, kg,
+                                                       workload):
+        config = ServeConfig(max_batch_size=64, flush_timeout=0.002,
+                             num_workers=1)
+        with ServeRuntime(model, kg=kg, config=config) as runtime:
+            result = runtime.answer(workload[0], top_k=5)
+            record = runtime.diag.flight.get(result.request_id)
+            assert record.plan_ops_total == 0
+            assert record.plan_ops_executed == 0
+
+
+class TestStructureCoalescing:
+    def test_mixed_structures_share_one_micro_batch(self, model, kg,
+                                                    workload):
+        # plan mode folds every structure into a single "__plan__" group,
+        # so one flush serves the whole mixed batch
+        config = ServeConfig(max_batch_size=64, flush_timeout=0.05,
+                             num_workers=1, plan_compile=True)
+        with ServeRuntime(model, kg=kg, config=config) as runtime:
+            results = serve_all(runtime, workload)
+            sizes = {runtime.diag.flight.get(r.request_id).batch_size
+                     for r in results}
+            assert max(sizes) > 1

@@ -1,0 +1,70 @@
+"""Hypothesis property tests for serve-tier canonicalisation.
+
+The plan compiler's template cache and the serving caches both assume
+that :func:`canonicalize` is a *projection onto a normal form*: applying
+it twice changes nothing, and the keys it induces are blind to how a
+caller happened to order the operands of commutative connectives.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries import (Difference, Entity, Intersection, Negation, Node,
+                           Projection, Union, execute)
+from repro.serve.canonical import (batch_key, cache_key, canonicalize,
+                                   serialize)
+
+from .test_executor_properties import graphs, queries
+
+pytestmark = pytest.mark.plan
+
+
+def permute(node: Node, rng: random.Random) -> Node:
+    """Recursively shuffle commutative operands (Difference keeps head)."""
+    if isinstance(node, Entity):
+        return node
+    if isinstance(node, Projection):
+        return Projection(node.relation, permute(node.operand, rng))
+    if isinstance(node, Negation):
+        return Negation(permute(node.operand, rng))
+    operands = [permute(op, rng) for op in node.operands]
+    if isinstance(node, Difference):
+        head, tail = operands[0], operands[1:]
+        rng.shuffle(tail)
+        return Difference((head, *tail))
+    rng.shuffle(operands)
+    return type(node)(tuple(operands))
+
+
+@settings(max_examples=100, deadline=None)
+@given(queries())
+def test_canonicalize_is_idempotent(query):
+    once = canonicalize(query)
+    assert canonicalize(once) == once
+    assert serialize(canonicalize(once)) == serialize(once)
+
+
+@settings(max_examples=100, deadline=None)
+@given(queries(), st.integers(0, 2**32 - 1))
+def test_keys_stable_under_commutative_permutation(query, seed):
+    shuffled = permute(query, random.Random(seed))
+    assert cache_key(shuffled) == cache_key(query)
+    assert batch_key(shuffled) == batch_key(query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), queries(), st.integers(0, 2**32 - 1))
+def test_permutation_preserves_answers(kg, query, seed):
+    # the normal form is only sound if the shuffles it equates really
+    # are the same query
+    shuffled = permute(query, random.Random(seed))
+    assert execute(shuffled, kg) == execute(query, kg)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graphs(), queries())
+def test_canonicalize_preserves_answers(kg, query):
+    assert execute(canonicalize(query), kg) == execute(query, kg)

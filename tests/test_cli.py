@@ -293,3 +293,49 @@ class TestTelemetry:
         kinds = [e["event"] for e in events]
         assert kinds[0] == "train_begin" and kinds[-1] == "train_end"
         assert kinds.count("epoch") == 3
+
+
+class TestExplainCommand:
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.structure is None
+        assert args.count == 1
+        assert not args.json and not args.no_dnf
+
+    def test_explain_sampled_batch_renders_plan(self, capsys):
+        assert main(["explain", "--dataset", "FB237", "--scale", "0.3",
+                     "--structure", "2i", "--structure", "2i",
+                     "--structure", "3p"]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "fused stages:" in out
+        assert "q0:" in out
+        # the second 2i shares the first one's template cache entry
+        assert "[plan-cache hit]" in out
+        assert "[plan-cache miss]" in out
+
+    def test_explain_json_is_machine_readable(self, capsys):
+        assert main(["explain", "--dataset", "FB237", "--scale", "0.3",
+                     "--structure", "2i", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_queries"] == 1
+        assert payload["ops_total"] == len(payload["ops"]) \
+            + payload["ops_saved"]
+        assert len(payload["queries"]) == 1
+        kinds = {op["kind"] for op in payload["ops"]}
+        assert "rank" in kinds
+
+    def test_explain_shared_sparql_marks_cse(self, capsys):
+        from repro.kg import load_dataset
+        splits = load_dataset("FB237", scale=0.3, seed=0)
+        head, rel, _ = sorted(splits.train.triples)[0]
+        entity = splits.train.entity_names[head]
+        relation = splits.train.relation_names[rel]
+        sparql = f"SELECT ?x WHERE {{ {entity} {relation} ?x }}"
+        # the same query twice: the whole body is shared, only ranking
+        # duplicates
+        assert main(["explain", "--dataset", "FB237", "--scale", "0.3",
+                     sparql, sparql]) == 0
+        out = capsys.readouterr().out
+        assert "shared" in out
+        assert "saved" in out
