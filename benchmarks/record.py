@@ -23,6 +23,14 @@ The gate compares against the best rather than the previous entry so a
 slow regression over many commits cannot ratchet the baseline down with
 it — each step may be under the threshold, but the cumulative drift from
 the best recorded run is what the check measures.
+
+When a check fails and recorded continuous profiles exist under
+``benchmarks/profiles/`` (``bench_serve_throughput.py --bench-record``
+rotates ``<name>.latest.json`` / ``<name>.baseline.json`` pairs), the
+failure is followed by an attribution table: the frames and plan-op
+kinds whose *self-time share* moved most between baseline and latest
+(``repro.obs.prof.diff_profiles``) — the same table ``cli prof --diff``
+prints, so a red gate names its suspects instead of just a number.
 """
 
 from __future__ import annotations
@@ -35,7 +43,8 @@ import subprocess
 import sys
 
 __all__ = ["record", "load_entries", "check_regression",
-           "RegressionError", "BENCH_DIR", "METRIC_DIRECTIONS"]
+           "RegressionError", "BENCH_DIR", "METRIC_DIRECTIONS",
+           "PROFILE_DIR"]
 
 #: Trajectory files live in the repository root, next to the other
 #: capitalised status files (README.md, ROADMAP.md, ...).
@@ -52,7 +61,17 @@ DEFAULT_THRESHOLD = 0.20
 METRIC_DIRECTIONS: dict[str, bool] = {
     "scaling_crossover_entities": False,
     "sharded_qps_100k": True,
+    # continuous-profiler self-measured overhead (fraction of the
+    # sampling interval one pass costs) — lower is better
+    "prof_overhead_ratio": False,
+    # cumulative plan-op wall seconds over the fixed compile workload —
+    # lower is better (the plan executor getting faster)
+    "plan_stage_seconds_total": False,
 }
+
+#: recorded continuous profiles for regression attribution:
+#: ``<name>.latest.json`` (this run) next to ``<name>.baseline.json``
+PROFILE_DIR = BENCH_DIR / "benchmarks" / "profiles"
 
 
 class RegressionError(Exception):
@@ -160,6 +179,49 @@ def check_regression(path, threshold: float = DEFAULT_THRESHOLD) -> dict:
     return report
 
 
+def _print_attribution(prof_dir) -> None:
+    """Self-time attribution tables from recorded profile pairs.
+
+    For every ``<name>.latest.json`` with a ``<name>.baseline.json``
+    sibling under ``prof_dir``, print the frame and plan-op share-delta
+    tables.  Quietly does nothing when no pairs (or the repro package)
+    are available — attribution decorates a failure, it must never mask
+    one.
+    """
+    prof_dir = pathlib.Path(prof_dir)
+    if not prof_dir.is_dir():
+        return
+    try:
+        from repro.obs.prof import (diff_plan_ops, diff_profiles,
+                                    format_diff, load_profile_payload)
+    except ImportError:
+        sys.path.insert(0, str(BENCH_DIR / "src"))
+        try:
+            from repro.obs.prof import (diff_plan_ops, diff_profiles,
+                                        format_diff,
+                                        load_profile_payload)
+        except ImportError:
+            return
+    for latest_path in sorted(prof_dir.glob("*.latest.json")):
+        base_path = latest_path.with_name(
+            latest_path.name.replace(".latest.json", ".baseline.json"))
+        if not base_path.exists():
+            continue
+        try:
+            base, base_ops = load_profile_payload(base_path)
+            latest, latest_ops = load_profile_payload(latest_path)
+        except (ValueError, OSError, json.JSONDecodeError):
+            continue
+        name = latest_path.name[:-len(".latest.json")]
+        print(f"\nattribution ({name}): self-time share deltas, "
+              f"baseline -> latest")
+        print(format_diff(diff_profiles(base, latest, limit=10)))
+        if base_ops or latest_ops:
+            print(format_diff(diff_plan_ops(base_ops, latest_ops,
+                                            limit=10),
+                              title="plan-op share of plan wall time"))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="benchmark trajectory tool: inspect BENCH_*.json "
@@ -174,6 +236,10 @@ def main(argv=None) -> int:
                         default=DEFAULT_THRESHOLD,
                         help="allowed fractional degradation "
                              "(default 0.2 = 20%%)")
+    parser.add_argument("--prof-dir", default=str(PROFILE_DIR),
+                        help="recorded-profile directory consulted for "
+                             "regression attribution (default "
+                             "benchmarks/profiles/)")
     args = parser.parse_args(argv)
 
     status = 0
@@ -190,6 +256,7 @@ def main(argv=None) -> int:
                 report = check_regression(path, threshold=args.threshold)
             except RegressionError as exc:
                 print(f"REGRESSION: {exc}")
+                _print_attribution(args.prof_dir)
                 status = 1
                 continue
             for metric, row in sorted(report.items()):

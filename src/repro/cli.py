@@ -535,6 +535,100 @@ def cmd_slo(args) -> int:
     return status
 
 
+def cmd_prof(args) -> int:
+    """Fetch a live profile (``/debug/prof``) or diff two recorded ones."""
+    from urllib.parse import urlencode
+
+    from .obs.prof import (Profile, diff_plan_ops, diff_profiles,
+                           format_diff, format_top, load_profile_payload)
+
+    if args.diff:
+        base_path, latest_path = args.diff
+        base, base_ops = load_profile_payload(base_path)
+        latest, latest_ops = load_profile_payload(latest_path)
+        print(f"baseline: {base_path} ({base.samples} samples)")
+        print(f"latest:   {latest_path} ({latest.samples} samples)")
+        print()
+        print(format_diff(diff_profiles(base, latest, limit=args.top),
+                          title="self-time share by frame"))
+        if base_ops or latest_ops:
+            print()
+            print(format_diff(diff_plan_ops(base_ops, latest_ops,
+                                            limit=args.top),
+                              title="plan-op share of plan wall time"))
+        return 0
+    if not args.target:
+        raise SystemExit("cli prof needs HOST:PORT (or --diff A B)")
+    params = {}
+    if args.seconds:
+        params["seconds"] = args.seconds
+    if args.role:
+        params["role"] = args.role
+    payload = _fetch_json(args.target, "/debug/prof", args.timeout
+                          + (args.seconds or 0.0),
+                          query=urlencode(params))
+    merged = Profile.from_dict(payload.get("merged", {}))
+    window = payload.get("window_seconds") or 0.0
+    scope = f"{window:g}s window" if window else "since start"
+    print(f"roles: {', '.join(payload.get('roles', [])) or '-'}  "
+          f"samples: {merged.samples} ({scope})  "
+          f"rate: {payload.get('effective_hz', 0.0):.1f}Hz  "
+          f"overhead: {100.0 * payload.get('overhead_ratio', 0.0):.2f}%")
+    print()
+    print(format_top(merged, limit=args.top))
+    plan_ops = payload.get("plan_ops") or {}
+    if plan_ops:
+        total = sum(plan_ops.values())
+        print()
+        print("plan-op seconds (cumulative):")
+        for kind, seconds in sorted(plan_ops.items(),
+                                    key=lambda kv: -kv[1]):
+            share = 100.0 * seconds / total if total else 0.0
+            print(f"  {kind:<12} {seconds:>9.4f}s  {share:>5.1f}%")
+    if args.out:
+        import json as json_mod
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json_mod.dump(payload, handle)
+        print(f"\nprofile payload saved to {args.out} "
+              f"(diff later with `cli prof --diff`)")
+    return 0
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    return f"{n:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def cmd_mem(args) -> int:
+    """Fetch a running server's ``/debug/mem`` and pretty-print it."""
+    payload = _fetch_json(args.target, "/debug/mem", args.timeout)
+    print("process RSS:")
+    for proc in payload.get("processes", []):
+        print(f"  {proc.get('role', '?'):<8} pid {proc.get('pid', 0):<8} "
+              f"{_human_bytes(proc.get('rss_bytes', 0))}")
+    caches = payload.get("caches", {})
+    if caches:
+        print("caches:")
+        for name, stats in sorted(caches.items()):
+            print(f"  {name:<20} {stats.get('size', 0):>6} entries  "
+                  f"{_human_bytes(stats.get('bytes', 0)):>10}  "
+                  f"hits={stats.get('hits', 0)} "
+                  f"misses={stats.get('misses', 0)}")
+    plan = payload.get("shard_plan")
+    if plan:
+        print(f"shard plan: {plan.get('layout')} layout, "
+              f"{plan.get('num_entities', 0):,} x {plan.get('dim', 0)} "
+              f"entities, {_human_bytes(plan.get('total_bytes', 0))} "
+              f"published")
+        for row in plan.get("shards", []):
+            print(f"  shard {row.get('shard')}: {row.get('rows', 0):,} "
+                  f"rows  {_human_bytes(row.get('bytes', 0))}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     from . import obs
     from .queries import QuerySampler, get_structure
@@ -768,21 +862,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "automatic below 20k entities)")
     p.set_defaults(func=cmd_genkg)
 
+    def endpoint(p, target_optional=False):
+        # the one HOST:PORT + --timeout block every telemetry-fetching
+        # subcommand (stats/flight/slo/prof/mem) shares
+        kwargs = {"nargs": "?", "default": None} if target_optional else {}
+        p.add_argument("target", metavar="HOST:PORT",
+                       help="address of the telemetry endpoint, e.g. "
+                            "127.0.0.1:9105", **kwargs)
+        p.add_argument("--timeout", type=float, default=5.0)
+
     p = sub.add_parser("stats",
                        help="fetch and pretty-print /statusz from a "
                             "running `serve --http-port` process")
-    p.add_argument("target", metavar="HOST:PORT",
-                   help="address of the telemetry endpoint, e.g. "
-                        "127.0.0.1:9105")
-    p.add_argument("--timeout", type=float, default=5.0)
+    endpoint(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("flight",
                        help="dump the flight recorder (/debug/flight) of "
                             "a running `serve --http-port` process")
-    p.add_argument("target", metavar="HOST:PORT",
-                   help="address of the telemetry endpoint, e.g. "
-                        "127.0.0.1:9105")
+    endpoint(p)
     p.add_argument("-n", type=int, default=100,
                    help="newest N records (default 100)")
     p.add_argument("--tenant", default=None,
@@ -791,18 +889,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only requests at/above this latency")
     p.add_argument("--request-id", default=None,
                    help="look up one request by id")
-    p.add_argument("--timeout", type=float, default=5.0)
     p.set_defaults(func=cmd_flight)
 
     p = sub.add_parser("slo",
                        help="fetch SLO burn rates (/debug/slo) from a "
                             "running `serve --http-port` process; exit 1 "
                             "when any alert is firing")
-    p.add_argument("target", metavar="HOST:PORT",
-                   help="address of the telemetry endpoint, e.g. "
-                        "127.0.0.1:9105")
-    p.add_argument("--timeout", type=float, default=5.0)
+    endpoint(p)
     p.set_defaults(func=cmd_slo)
+
+    p = sub.add_parser("prof",
+                       help="fetch the continuous profile (/debug/prof) "
+                            "of a running `serve --http-port` process, "
+                            "or diff two recorded profiles")
+    endpoint(p, target_optional=True)
+    p.add_argument("--seconds", type=float, default=None,
+                   help="sample a fresh N-second window instead of "
+                        "everything since start")
+    p.add_argument("--role", default=None,
+                   help="only this process role (serve, shard0, ...)")
+    p.add_argument("--top", type=int, default=15,
+                   help="rows in the self-time tables (default 15)")
+    p.add_argument("--out", default=None,
+                   help="save the raw profile payload JSON here")
+    p.add_argument("--diff", nargs=2, metavar=("BASELINE", "LATEST"),
+                   help="attribute a regression: print the frames and "
+                        "plan ops whose self-time share moved most "
+                        "between two recorded profiles")
+    p.set_defaults(func=cmd_prof)
+
+    p = sub.add_parser("mem",
+                       help="fetch the memory inventory (/debug/mem) of "
+                            "a running `serve --http-port` process: RSS, "
+                            "cache residency, shard slab bytes")
+    endpoint(p)
+    p.set_defaults(func=cmd_mem)
 
     p = sub.add_parser("trace",
                        help="trace one query through the stack and export "

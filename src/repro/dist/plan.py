@@ -342,6 +342,32 @@ class EntityShardPlan:
         else:
             self.table.fill(points, chunk_rows=self._chunk_rows)
 
+    def memory_inventory(self) -> dict:
+        """Shared-memory accounting for ``/debug/mem``.
+
+        Per-shard published bytes plus the plan total.  Under the table
+        layout every shard *maps* the whole segment, but the bytes are
+        attributed to the shard's own row block (and the total is the
+        single segment) so the inventory sums to real memory either way.
+        """
+        shards = []
+        if self.lazy:
+            total = 0
+            for rng, slab in zip(self.ranges, self.slabs):
+                nbytes = int(slab.ndarray.nbytes)
+                total += nbytes
+                shards.append({"shard": rng.index, "rows": len(rng),
+                               "bytes": nbytes})
+        else:
+            itemsize = int(self.table.ndarray.dtype.itemsize)
+            total = int(self.table.ndarray.nbytes)
+            for rng in self.ranges:
+                shards.append({"shard": rng.index, "rows": len(rng),
+                               "bytes": len(rng) * self.dim * itemsize})
+        return {"layout": "lazy" if self.lazy else "table",
+                "num_entities": self.num_entities, "dim": self.dim,
+                "total_bytes": total, "shards": shards}
+
     def close(self) -> None:
         """Destroy the published segments (workers must detach first)."""
         if self.lazy:

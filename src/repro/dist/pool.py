@@ -27,6 +27,9 @@ worker installs its own :class:`repro.obs.Tracer` and a delta-tracking
 the parent at dispatch time), and ships the finished spans plus the
 metric increments since its previous reply alongside the result — no
 side channel, and the request sequence numbers give ordering for free.
+A role with ``profile_hz > 0`` additionally runs a continuous sampling
+profiler (:mod:`repro.obs.prof`) and ships its folded-stack deltas the
+same way, accumulated per worker in :attr:`ShardWorkerPool.profiles`.
 The parent merges the deltas into :attr:`ShardWorkerPool.metrics` and
 re-parents the spans (:meth:`repro.obs.Tracer.adopt`) under the span
 that was current at ``dispatch()``, so a Chrome trace shows per-worker
@@ -64,6 +67,7 @@ from dataclasses import dataclass
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
+from ..obs.prof import ProfileStore, SamplingProfiler
 from ..obs.trace import Span, Tracer
 
 __all__ = ["WorkerRole", "ShardWorkerPool", "WorkerCrash", "DistError",
@@ -145,7 +149,16 @@ class WorkerRole:
     Subclasses implement :meth:`setup` (runs once in the worker: attach
     shared memory, build state) and :meth:`handle` (runs per request).
     ``teardown`` releases what setup acquired.
+
+    ``profile_hz`` > 0 runs a :class:`repro.obs.prof.SamplingProfiler`
+    in the worker for the process's lifetime, tagged ``profile_role``;
+    its folded-stack deltas ride back on replies with the metric deltas.
     """
+
+    #: continuous-profiler sampling rate in this worker (0 = off)
+    profile_hz: float = 0.0
+    #: role tag on the worker's profiles (e.g. ``shard3``)
+    profile_role: str = "worker"
 
     def setup(self):
         """Return worker-local state passed to every :meth:`handle`."""
@@ -171,6 +184,12 @@ def _worker_main(role: WorkerRole, task_q, result_q) -> None:
     registry = MetricsRegistry(track_deltas=True)
     obs_trace.set_tracer(tracer)
     obs_metrics.set_registry(registry)
+    sampler = None
+    if getattr(role, "profile_hz", 0.0) > 0:
+        sampler = SamplingProfiler(hz=role.profile_hz,
+                                   role=getattr(role, "profile_role",
+                                                "worker"),
+                                   registry=registry).start()
     try:
         state = role.setup()
     except BaseException:
@@ -200,16 +219,19 @@ def _worker_main(role: WorkerRole, task_q, result_q) -> None:
                 else:
                     ended = time.perf_counter()
                     telemetry = _collect_telemetry(tracer, registry,
-                                                   traced)
+                                                   traced, sampler)
                     result_q.put(("ok", seq,
                                   (reply, started, ended, telemetry)))
     finally:
+        if sampler is not None:
+            sampler.stop()
         role.teardown(state)
 
 
 def _collect_telemetry(tracer: Tracer, registry: MetricsRegistry,
-                       traced: bool):
-    """The piggyback: finished spans (if traced) + metric deltas.
+                       traced: bool, sampler=None):
+    """The piggyback: finished spans (if traced) + metric deltas +
+    profile deltas.
 
     Returns None when there is nothing to ship, so the untraced,
     metric-free fast path pickles one extra None per reply and nothing
@@ -220,9 +242,10 @@ def _collect_telemetry(tracer: Tracer, registry: MetricsRegistry,
         spans = tracer.finished()
         tracer.reset()
     delta = registry.flush_delta()
-    if not spans and not delta:
+    prof = sampler.flush_delta() if sampler is not None else None
+    if not spans and not delta and prof is None:
         return None
-    return spans, delta
+    return spans, delta, prof
 
 
 class _Worker:
@@ -322,6 +345,8 @@ class ShardWorkerPool:
         self._respawn_enabled = respawn
         self._tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: per-(role, pid) worker profiles accumulated from reply deltas
+        self.profiles = ProfileStore()
         self.hedge = hedge
         self._hedge_executor = None
         self._hedge_lock = threading.Lock()
@@ -522,9 +547,11 @@ class ShardWorkerPool:
 
     def _merge_telemetry(self, seq: int, telemetry) -> None:
         """Fold one reply's piggyback into the parent registry/tracer."""
-        spans, delta = telemetry
+        spans, delta, prof = telemetry
         if delta:
             self.metrics.merge(delta)
+        if prof is not None:
+            self.profiles.merge_delta(prof)
         if spans:
             parent, _, request_id = self._trace_ctx.get(
                 seq, (None, False, ""))

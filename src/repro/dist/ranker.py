@@ -115,7 +115,8 @@ class ShardedRanker:
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
                  hedge: HedgeConfig | None = None,
-                 lazy_slabs: bool | None = None):
+                 lazy_slabs: bool | None = None,
+                 profile_hz: float = 0.0):
         if num_shards < 2:
             raise ValueError("sharded execution needs >= 2 shards")
         spec = model.sharding_spec()
@@ -131,6 +132,11 @@ class ShardedRanker:
         self.plan = EntityShardPlan(points, num_shards, lazy=lazy_slabs)
         roles = [RankWorkerRole(*self.plan.shard_spec(i), scorer, index=i)
                  for i in range(self.plan.num_shards)]
+        for i, role in enumerate(roles):
+            # each worker samples itself continuously and piggybacks
+            # profile deltas on replies (pool.profiles); 0 disables
+            role.profile_hz = profile_hz
+            role.profile_role = f"shard{i}"
         self.pool = ShardWorkerPool(roles, start_method=start_method,
                                     tracer=self.tracer, metrics=metrics)
         if hedge is not None:
@@ -149,7 +155,8 @@ class ShardedRanker:
                   tracer: Tracer | None = None,
                   metrics: MetricsRegistry | None = None,
                   hedge: HedgeConfig | None = None,
-                  lazy_slabs: bool | None = None
+                  lazy_slabs: bool | None = None,
+                  profile_hz: float = 0.0
                   ) -> "ShardedRanker | None":
         """Ranker, or None when sharding is unsupported here.
 
@@ -164,7 +171,7 @@ class ShardedRanker:
             return None
         return cls(model, num_shards, start_method=start_method,
                    tracer=tracer, metrics=metrics, hedge=hedge,
-                   lazy_slabs=lazy_slabs)
+                   lazy_slabs=lazy_slabs, profile_hz=profile_hz)
 
     @property
     def num_shards(self) -> int:

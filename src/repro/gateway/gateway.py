@@ -542,13 +542,25 @@ class Gateway:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Small live-state summary (queue depths, inflight, estimate)."""
+        """Small live-state summary (queue depths, inflight, estimate).
+
+        When the runtime carries a continuous sampling profiler
+        (``ServeConfig.profiling``), its health rides along —
+        ``prof_effective_hz`` drops below the configured rate when the
+        overhead budget forced down-sampling, which is the first thing
+        to check when gateway latency and profile detail disagree.
+        """
         with self._tenants_lock:
             tenants = {name: state.pending
                        for name, state in self._tenants.items()}
-        return {"queued": sum(tenants.values()), "tenants": tenants,
-                "inflight": self._inflight,
-                "est_service_ms": 1000.0 * self._est_service}
+        out = {"queued": sum(tenants.values()), "tenants": tenants,
+               "inflight": self._inflight,
+               "est_service_ms": 1000.0 * self._est_service}
+        prof = getattr(self.runtime, "prof", None)
+        if prof is not None:
+            out["prof_effective_hz"] = prof.effective_hz
+            out["prof_overhead_ratio"] = prof.overhead_ratio
+        return out
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop admitting, shed the queue, stop the loop; idempotent.

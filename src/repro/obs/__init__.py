@@ -12,7 +12,10 @@ The observability layer used by every tier of the stack:
   the serving runtime and the shard workers;
 * :mod:`repro.obs.export` — Chrome trace-event and JSON-Lines writers;
 * :mod:`repro.obs.diag` — always-on production diagnostics: per-request
-  flight recorder, tail-based trace sampling, SLO burn-rate monitoring.
+  flight recorder, tail-based trace sampling, SLO burn-rate monitoring;
+* :mod:`repro.obs.prof` — the continuous sampling wall-clock profiler
+  (budgeted overhead, cross-process folded stacks, speedscope export)
+  and the profile-diff regression attribution tooling.
 
 All tracing instrumentation is compiled down to near-no-ops unless the
 module-level flag is switched on with :func:`enable` (or scoped with
@@ -29,6 +32,11 @@ from .metrics import (Counter, Gauge, Histogram, HistogramStats,
                       StatsSnapshot, format_snapshot, get_registry,
                       metric_key, parse_metric_key, set_registry,
                       snapshot_from_json, snapshot_to_json)
+from .prof import (Profile, ProfileStore, SamplingProfiler, diff_plan_ops,
+                   diff_profiles, estimate_nbytes, format_diff, format_top,
+                   load_profile_payload, merge_profiles, process_rss_bytes,
+                   sampler_active, self_time_shares, to_folded,
+                   to_speedscope, warn_dual_profilers, window_profiles)
 from .profiler import ModuleStat, ModuleTimer, OpStat, Profiler
 from .telemetry import (CallbackList, ConsoleLogger, EpochStats,
                         JsonlTelemetry, MetricsCallback, TrainerCallback)
@@ -51,4 +59,9 @@ __all__ = [
     "get_registry", "set_registry",
     "DiagConfig", "Diagnostics", "FlightRecord", "FlightRecorder",
     "SloEngine", "SloObjective", "TailSampler", "next_request_id",
+    "Profile", "ProfileStore", "SamplingProfiler",
+    "merge_profiles", "window_profiles", "to_folded", "to_speedscope",
+    "self_time_shares", "diff_profiles", "diff_plan_ops", "format_diff",
+    "format_top", "load_profile_payload", "process_rss_bytes",
+    "estimate_nbytes", "sampler_active", "warn_dual_profilers",
 ]

@@ -132,6 +132,9 @@ class FlightRecord:
     #: micro-batch would hold without CSE, and ops actually executed
     plan_ops_total: int = 0
     plan_ops_executed: int = 0
+    #: per-plan-op-kind milliseconds of the micro-batch this request rode
+    #: (empty on the interpretive path); shared across batched siblings
+    plan_stage_ms: dict = field(default_factory=dict)
     #: shard fan-out of the ranking pass (0 = in-process)
     shards: int = 0
     #: hedge wins during this request's ranking gather (the batch's

@@ -166,6 +166,9 @@ class Profiler(_HookMixin):
     def __enter__(self) -> "Profiler":
         if tensor.get_profiler() is not None:
             raise RuntimeError("another Profiler is already active")
+        from .prof import sampler_active, warn_dual_profilers
+        if sampler_active():
+            warn_dual_profilers()
         for name in _TENSOR_OPS:
             original = getattr(Tensor, name)
             self._saved_tensor[name] = original

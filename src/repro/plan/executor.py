@@ -22,9 +22,12 @@ from typing import NamedTuple
 
 import numpy as np
 
+import time
+
 from ..core.arc import Arc
 from ..kg.graph import KnowledgeGraph
 from ..nn import Tensor, no_grad
+from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from .backend import ArcRows
 from .ir import (AnchorOp, DifferenceOp, IntersectOp, NegateOp, Plan,
@@ -124,21 +127,51 @@ class RankGroup:
     embedding: object
 
 
-def execute_plan(plan: Plan, backend, tracer=None) -> list[RankGroup]:
+def _block_nbytes(block: ArcRows) -> int:
+    """Bytes materialised by one stage result block."""
+    return int(block.arc.center.data.nbytes + block.arc.length.data.nbytes
+               + block.signature.nbytes)
+
+
+def execute_plan(plan: Plan, backend, tracer=None, registry=None,
+                 cost=None) -> list[RankGroup]:
     """Evaluate a DNF plan with stacked kernels; one RankGroup per shape.
 
     The returned embeddings feed the normal ranking path
     (``distance_to_all``/``topk_rows`` or a ``ShardedRanker``) unchanged.
+
+    Cost accounting (the plan-op half of ``repro.obs.prof``): every fused
+    stage records wall seconds into the ``plan_stage_seconds`` gauge
+    family labelled ``{kind, depth, fused}`` plus ``plan_stage_rows`` /
+    ``plan_stage_bytes`` counters on ``registry`` (process default when
+    omitted).  ``cost``, when given, is a dict accumulating per-kind
+    milliseconds for this one call — the runtime stamps it onto the
+    batch's flight records.
     """
     tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else get_registry()
     values: list[object] = [None] * len(plan.ops)
     with no_grad(), tracer.span("plan.execute", ops=len(plan.ops),
                                 queries=plan.num_queries):
         for group in schedule(plan):
             with tracer.span("plan.stage", depth=group.depth,
                              kind=group.kind, ops=len(group.ops)):
-                _run_stage(plan, group, values, backend)
+                started = time.perf_counter()
+                result = _run_stage(plan, group, values, backend)
+                elapsed = time.perf_counter() - started
+            registry.gauge("plan_stage_seconds", kind=group.kind,
+                           depth=str(group.depth),
+                           fused="1" if len(group.ops) > 1 else "0",
+                           ).add(elapsed)
+            registry.counter("plan_stage_rows",
+                             kind=group.kind).inc(len(group.ops))
+            registry.counter("plan_stage_bytes",
+                             kind=group.kind).inc(_block_nbytes(result))
+            if cost is not None:
+                cost[group.kind] = cost.get(group.kind, 0.0) \
+                    + 1000.0 * elapsed
         with tracer.span("plan.finalize"):
+            started = time.perf_counter()
             by_branches: dict[int, list[int]] = {}
             for position, root in enumerate(plan.roots):
                 count = len(plan.ops[root].branches)
@@ -152,10 +185,15 @@ def execute_plan(plan: Plan, backend, tracer=None) -> list[RankGroup]:
                         for p in positions]))
                 out.append(RankGroup(tuple(positions),
                                      backend.finalize(branches)))
+            elapsed = time.perf_counter() - started
+        registry.gauge("plan_stage_seconds", kind="finalize", depth="0",
+                       fused="0").add(elapsed)
+        if cost is not None:
+            cost["finalize"] = cost.get("finalize", 0.0) + 1000.0 * elapsed
     return out
 
 
-def _run_stage(plan: Plan, group: StageGroup, values, backend) -> None:
+def _run_stage(plan: Plan, group: StageGroup, values, backend) -> ArcRows:
     """Execute one fused stage and scatter per-op rows into the table."""
     ops = [plan.ops[i] for i in group.ops]
     if group.kind == "anchor":
@@ -180,6 +218,7 @@ def _run_stage(plan: Plan, group: StageGroup, values, backend) -> None:
         raise TypeError(f"unknown op kind: {group.kind}")
     for row, index in enumerate(group.ops):
         values[index] = _Slot(result, row)
+    return result
 
 
 def execute_symbolic(plan: Plan, kg: KnowledgeGraph) -> list[set[int]]:

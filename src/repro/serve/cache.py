@@ -73,6 +73,13 @@ class LruCache:
             return {"hits": self.hits, "misses": self.misses,
                     "evictions": self.evictions, "size": len(self._data)}
 
+    def nbytes(self) -> int:
+        """Estimated resident bytes of cached values (``/debug/mem``)."""
+        from ..obs.prof import estimate_nbytes
+        with self._lock:
+            values = list(self._data.values())
+        return sum(estimate_nbytes(value) for value in values)
+
 
 class TtlCache:
     """LRU cache whose entries additionally expire after ``ttl`` seconds."""
@@ -142,3 +149,10 @@ class TtlCache:
                     "evictions": self.evictions,
                     "expirations": self.expirations,
                     "size": len(self._data)}
+
+    def nbytes(self) -> int:
+        """Estimated resident bytes of cached values (``/debug/mem``)."""
+        from ..obs.prof import estimate_nbytes
+        with self._lock:
+            values = [value for _, value in self._data.values()]
+        return sum(estimate_nbytes(value) for value in values)

@@ -36,6 +36,17 @@ debug endpoints join them:
   request as Chrome trace-event JSON (load in ``chrome://tracing`` /
   Perfetto); 404 when the request was not retained.
 
+The continuous-profiling endpoints (``prof_fn``/``mem_fn``, mounted by
+the runtime when ``ServeConfig.profiling`` is on) are independent of
+``diag``:
+
+* ``GET /debug/prof?seconds=N&role=&format=json|folded|speedscope`` —
+  the merged cross-process profile (``cli prof host:port`` renders it);
+  ``seconds`` blocks for an N-second sampling window, ``folded`` is
+  flamegraph.pl input, ``speedscope`` loads in https://speedscope.app.
+* ``GET /debug/mem`` — per-process RSS, cache residency bytes, and the
+  shared-memory shard-slab inventory (``cli mem host:port``).
+
 Errors are machine-readable: unknown paths, bad methods and malformed
 bodies all return a JSON object (``{"error": ...}``) with correct
 ``Content-Type``/``Content-Length`` headers — a load balancer or SDK
@@ -187,11 +198,17 @@ class TelemetryHTTPServer:
         Optional :class:`repro.obs.Diagnostics` handle mounting the
         ``/debug/flight`` / ``/debug/slo`` / ``/debug/trace/<id>``
         endpoints (``ServeRuntime`` passes its own).
+    prof_fn:
+        Optional ``(seconds, role) -> payload dict`` mounting
+        ``GET /debug/prof`` (``ServeRuntime.prof_payload``).
+    mem_fn:
+        Optional zero-arg callable mounting ``GET /debug/mem``
+        (``ServeRuntime.mem_payload``).
     """
 
     def __init__(self, snapshot_fn: Callable[[], StatsSnapshot],
                  health_fn=None, host: str = "127.0.0.1", port: int = 0,
-                 query_fn=None, diag=None):
+                 query_fn=None, diag=None, prof_fn=None, mem_fn=None):
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -214,6 +231,8 @@ class TelemetryHTTPServer:
         self._health_fn = health_fn
         self._query_fn = query_fn
         self._diag = diag
+        self._prof_fn = prof_fn
+        self._mem_fn = mem_fn
         self._server = ThreadingHTTPServer((host, port), Handler)
         self._server.daemon_threads = True
         self.host = self._server.server_address[0]
@@ -261,10 +280,6 @@ class TelemetryHTTPServer:
 
     def _route_debug(self, handler: BaseHTTPRequestHandler,
                      path: str) -> None:
-        if self._diag is None:
-            self._json_error(handler, 404,
-                             "diagnostics disabled on this server")
-            return
         query = parse_qs(urlsplit(handler.path).query)
 
         def param(name, cast, default=None):
@@ -277,6 +292,48 @@ class TelemetryHTTPServer:
                 raise ValueError(f"bad query parameter {name}="
                                  f"{values[-1]!r}")
 
+        # the profiling endpoints do not depend on the diag handle —
+        # route them before the diagnostics gate below
+        if path == "/debug/prof":
+            if self._prof_fn is None:
+                self._json_error(handler, 404,
+                                 "profiling disabled on this server")
+                return
+            try:
+                seconds = param("seconds", float, 0.0)
+                role = param("role", str)
+                fmt = param("format", str, "json")
+                if fmt not in ("json", "folded", "speedscope"):
+                    raise ValueError(f"bad query parameter format="
+                                     f"{fmt!r} (json|folded|speedscope)")
+            except ValueError as exc:
+                self._json_error(handler, 400, str(exc))
+                return
+            payload = self._prof_fn(seconds, role)
+            if fmt == "folded":
+                self._reply(handler, 200, payload["folded"] + "\n",
+                            "text/plain; charset=utf-8")
+            elif fmt == "speedscope":
+                self._reply(handler, 200,
+                            json.dumps(payload["speedscope"]) + "\n",
+                            "application/json")
+            else:
+                self._reply(handler, 200, json.dumps(payload) + "\n",
+                            "application/json")
+            return
+        if path == "/debug/mem":
+            if self._mem_fn is None:
+                self._json_error(handler, 404,
+                                 "memory inventory unavailable on this "
+                                 "server")
+                return
+            self._reply(handler, 200, json.dumps(self._mem_fn()) + "\n",
+                        "application/json")
+            return
+        if self._diag is None:
+            self._json_error(handler, 404,
+                             "diagnostics disabled on this server")
+            return
         if path == "/debug/flight":
             try:
                 payload = self._diag.flight_payload(

@@ -104,6 +104,14 @@ class ServeConfig:
     diagnostics: bool = True
     #: diagnostics knobs; None = DiagConfig() defaults
     diag: DiagConfig | None = None
+    #: continuous sampling profiler (``repro.obs.prof``) in this process
+    #: and — at the same rate — in every shard worker; the off switch
+    #: exists for the overhead benchmark, not for production
+    profiling: bool = True
+    #: target sampling rate; the sampler down-samples itself whenever a
+    #: pass costs more than ``prof_overhead_budget`` of the interval
+    prof_hz: float = 67.0
+    prof_overhead_budget: float = 0.02
 
 
 @dataclass(frozen=True)
@@ -227,6 +235,16 @@ class ServeRuntime:
             self.diag = Diagnostics(self.config.diag,
                                     registry=self.metrics,
                                     tracer=self.tracer, clock=clock)
+        #: continuous wall-clock profiler of this process (None when
+        #: config.profiling is off); worker processes run their own,
+        #: shipped back via the pool (see prof_payload)
+        self.prof = None
+        if self.config.profiling:
+            from ..obs.prof import SamplingProfiler
+            self.prof = SamplingProfiler(
+                hz=self.config.prof_hz, role="serve",
+                overhead_budget=self.config.prof_overhead_budget,
+                registry=self.metrics).start()
         self._ranker = None
         if self.config.num_shards >= 2:
             from ..dist import HedgeConfig, ShardedRanker
@@ -238,7 +256,9 @@ class ServeRuntime:
             self._ranker = ShardedRanker.for_model(
                 model, self.config.num_shards, tracer=self.tracer,
                 metrics=self.metrics, hedge=hedge,
-                lazy_slabs=self.config.lazy_shard_slabs)
+                lazy_slabs=self.config.lazy_shard_slabs,
+                profile_hz=self.config.prof_hz
+                if self.config.profiling else 0.0)
         self.metrics.gauge("shards").set(
             self._ranker.num_shards if self._ranker is not None else 0)
         # query-plan compiler (repro.plan): active only when asked for
@@ -282,7 +302,10 @@ class ServeRuntime:
             self.http_server = TelemetryHTTPServer(
                 snapshot_fn=self.stats, health_fn=self.health,
                 host=self.config.http_host, port=self.config.http_port,
-                diag=self.diag)
+                diag=self.diag,
+                prof_fn=self.prof_payload if self.prof is not None
+                else None,
+                mem_fn=self.mem_payload)
 
     # ------------------------------------------------------------------
     # public API
@@ -514,6 +537,104 @@ class ServeRuntime:
                            if name.startswith("serve.")}
         return snapshot
 
+    # ------------------------------------------------------------------
+    # continuous profiling + memory observability (repro.obs.prof)
+    # ------------------------------------------------------------------
+    def _profiles(self):
+        """This process's profile + accumulated shard-worker profiles."""
+        profiles = []
+        if self.prof is not None:
+            profiles.append(self.prof.snapshot())
+        if self._ranker is not None:
+            profiles.extend(self._ranker.pool.profiles.snapshot())
+        return profiles
+
+    def _plan_op_seconds(self) -> dict[str, float]:
+        """Cumulative ``plan_stage_seconds`` per op kind, label-folded."""
+        from ..obs.metrics import parse_metric_key
+        out: dict[str, float] = {}
+        for key, value in self.metrics.snapshot().gauges.items():
+            name, labels = parse_metric_key(key)
+            if name != "plan_stage_seconds":
+                continue
+            kind = labels.get("kind", "?")
+            out[kind] = out.get(kind, 0.0) + float(value)
+        return out
+
+    def prof_payload(self, seconds: float = 0.0,
+                     role: str | None = None) -> dict:
+        """The ``GET /debug/prof`` payload (also ``cli prof --out``).
+
+        ``seconds > 0`` returns only samples taken during that window
+        (the handler blocks for it); otherwise everything since start.
+        ``role`` filters to one process role (``serve``, ``shard0``...).
+        Worker profiles are as of their last replies — workers piggyback
+        deltas on results, there is no side channel to poll.
+        """
+        from ..obs.prof import (merge_profiles, to_folded, to_speedscope,
+                                window_profiles)
+        if seconds > 0:
+            base = self._profiles()
+            time.sleep(min(float(seconds), 60.0))
+            profiles = window_profiles(base, self._profiles())
+        else:
+            profiles = self._profiles()
+        if role:
+            profiles = [p for p in profiles if p.role == role]
+        merged = merge_profiles(profiles)
+        return {
+            "pid": os.getpid(),
+            "roles": sorted({p.role for p in profiles}),
+            "window_seconds": float(seconds),
+            "effective_hz": self.prof.effective_hz
+            if self.prof is not None else 0.0,
+            "overhead_ratio": self.prof.overhead_ratio
+            if self.prof is not None else 0.0,
+            "profiles": [p.to_dict() for p in profiles],
+            "merged": merged.to_dict(),
+            "folded": to_folded(merged),
+            "speedscope": to_speedscope(merged),
+            "plan_ops": self._plan_op_seconds(),
+        }
+
+    def mem_payload(self) -> dict:
+        """The ``GET /debug/mem`` payload: RSS, caches, shard slabs.
+
+        Also refreshes the ``process_rss_bytes{role=}`` /
+        ``cache_bytes{cache=}`` / ``shard_slab_bytes{shard=}`` gauges so
+        scraping ``/metrics`` alone tracks memory over time.
+        """
+        from ..obs.prof import process_rss_bytes
+        processes = [{"role": "serve", "pid": os.getpid(),
+                      "rss_bytes": process_rss_bytes()}]
+        if self._ranker is not None:
+            for i, pid in enumerate(self._ranker.pool.pids()):
+                processes.append({"role": f"shard{i}", "pid": pid,
+                                  "rss_bytes": process_rss_bytes(pid)})
+        for proc in processes:
+            self.metrics.gauge("process_rss_bytes",
+                               role=proc["role"]).set(proc["rss_bytes"])
+        caches = {}
+        tiers = [("answer_cache", self._answers),
+                 ("embedding_cache", self._embeddings)]
+        if self._planner is not None:
+            tiers.append(("plan_template_cache", self._planner.cache))
+        for name, cache in tiers:
+            entry = dict(cache.stats())
+            entry["bytes"] = cache.nbytes()
+            caches[name] = entry
+            self.metrics.gauge("cache_bytes", cache=name).set(
+                entry["bytes"])
+        shards = None
+        if self._ranker is not None:
+            shards = self._ranker.plan.memory_inventory()
+            for row in shards["shards"]:
+                self.metrics.gauge(
+                    "shard_slab_bytes",
+                    shard=str(row["shard"])).set(row["bytes"])
+        return {"processes": processes, "caches": caches,
+                "shard_plan": shards}
+
     def close(self) -> None:
         with self._close_lock:
             if self._closed:
@@ -523,6 +644,8 @@ class ServeRuntime:
         if self._watcher is not None:
             self._watcher.join()
             self._watcher = None
+        if self.prof is not None:
+            self.prof.stop()
         if self.http_server is not None:
             self.http_server.close()
         self._batcher.close()
@@ -712,7 +835,9 @@ class ServeRuntime:
         compiled = self._planner.compile([r.query for r in misses],
                                          canonical=True)
         plan = compiled.plan
-        groups = execute_plan(plan, self._plan_backend, tracer=tracer)
+        stage_cost: dict[str, float] = {}
+        groups = execute_plan(plan, self._plan_backend, tracer=tracer,
+                              registry=self.metrics, cost=stage_cost)
         embed_end = time.perf_counter()
         answers: list[tuple[_Pending, list[int]]] = []
         for group in groups:
@@ -737,6 +862,7 @@ class ServeRuntime:
                     request.diag.rank_ms = 1000.0 * (rank_end - split)
                     request.diag.plan_ops_total = plan.ops_total
                     request.diag.plan_ops_executed = len(plan.ops)
+                    request.diag.plan_stage_ms = stage_cost
                     if shard_info:
                         request.diag.shards = shard_info.get("shards", 0)
                         request.diag.hedge_wins = \

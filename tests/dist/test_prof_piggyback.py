@@ -1,0 +1,96 @@
+"""Worker profiles piggyback on shard replies (ISSUE 10 tentpole).
+
+A :class:`WorkerRole` with ``profile_hz > 0`` runs a continuous
+sampling profiler for the worker process's lifetime; its folded-stack
+deltas ride back on ordinary replies — the same channel as metric
+deltas, same staleness rules — and accumulate per ``(role, pid)`` in
+``ShardWorkerPool.profiles``.  These tests pin that path end to end
+with real spawned workers, plus the merge into one role-tagged
+cross-process profile.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.dist import ShardedRanker
+from repro.obs.prof import merge_profiles
+
+from .conftest import requires_shm
+
+pytestmark = [pytest.mark.dist, pytest.mark.prof, requires_shm]
+
+
+@pytest.fixture(scope="module")
+def profiled_ranker(model):
+    ranker = ShardedRanker.for_model(model, 2, profile_hz=200.0)
+    assert ranker is not None
+    yield ranker
+    ranker.close()
+
+
+def _pump_until_profiled(ranker, embedding, min_samples=4,
+                         timeout=10.0):
+    """Answer requests until both workers shipped profile deltas."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        ranker.topk(embedding, 5)
+        profiles = ranker.pool.profiles.snapshot()
+        if (len(profiles) == ranker.num_shards
+                and all(p.samples >= min_samples for p in profiles)):
+            return profiles
+        time.sleep(0.1)  # let the worker-side samplers take passes
+    pytest.fail(f"workers never shipped {min_samples} samples each; "
+                f"have {[(p.role, p.samples) for p in profiles]}")
+
+
+class TestWorkerProfilePiggyback:
+    def test_worker_profiles_reach_parent_store(self, profiled_ranker,
+                                                model, queries):
+        embedding = model.embed_batch(queries)
+        profiles = _pump_until_profiled(profiled_ranker, embedding)
+        by_role = {p.role: p for p in profiles}
+        assert set(by_role) == {"shard0", "shard1"}
+        worker_pids = set(profiled_ranker.pool.pids())
+        for profile in profiles:
+            assert profile.pid in worker_pids
+            assert profile.pid != os.getpid()
+            assert profile.samples > 0
+            assert sum(profile.stacks.values()) == profile.samples
+
+    def test_worker_budget_gauges_merge_into_parent(self,
+                                                    profiled_ranker,
+                                                    model, queries):
+        embedding = model.embed_batch(queries)
+        _pump_until_profiled(profiled_ranker, embedding)
+        gauges = profiled_ranker.metrics.snapshot().gauges
+        for shard in range(profiled_ranker.num_shards):
+            key = f"prof_effective_hz{{role=shard{shard}}}"
+            assert gauges.get(key, 0.0) > 0.0
+
+    def test_merged_cross_process_flame_graph(self, profiled_ranker,
+                                              model, queries):
+        embedding = model.embed_batch(queries)
+        profiles = _pump_until_profiled(profiled_ranker, embedding)
+        merged = merge_profiles(profiles)
+        assert merged.samples == sum(p.samples for p in profiles)
+        roots = {stack.split(";", 1)[0] for stack in merged.stacks}
+        # every stack is tagged role@pid — one subtree per process
+        for profile in profiles:
+            assert f"{profile.role}@{profile.pid}" in roots
+
+
+class TestUnprofiledDefault:
+    def test_zero_hz_ships_no_profiles(self, model, queries):
+        ranker = ShardedRanker.for_model(model, 2)  # profile_hz=0
+        assert ranker is not None
+        try:
+            embedding = model.embed_batch(queries)
+            for _ in range(3):
+                ranker.topk(embedding, 5)
+            time.sleep(0.2)
+            ranker.topk(embedding, 5)
+            assert len(ranker.pool.profiles) == 0
+        finally:
+            ranker.close()

@@ -221,7 +221,7 @@ class TestStaleness:
         delta into the parent registry."""
         poison = MetricsDelta(counters={"poison_counter": 1000})
         stale = ("ok", 0, ({"ids": None, "vals": None}, 0.0, 0.0,
-                           ([], poison)))
+                           ([], poison, None)))
         ranker.pool._workers[0].result_q.put(stale)
         time.sleep(0.1)  # let the queue feeder make it visible
         ranker.topk(embedding, 5)  # consumes + discards the stale reply
